@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures through the
+drivers in :mod:`repro.experiments` and prints the corresponding rows/series,
+so ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+#: Scale used by the benchmark harness: larger than the unit-test scale but
+#: still minutes (not hours) end to end.
+BENCH = ExperimentScale(
+    name="bench",
+    train_snippet_factor=0.5,
+    eval_snippet_factor=0.5,
+    sequence_snippet_factor=2.0,
+    offline_epochs=120,
+    buffer_capacity=25,
+    update_epochs=80,
+    rl_offline_episodes=2,
+    gpu_frames=400,
+    nmpc_surface_samples=300,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH

@@ -1,0 +1,91 @@
+"""Ablation benchmarks for design choices discussed in the paper's text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_buffer_size_ablation,
+    run_config_space_ablation,
+    run_explicit_nmpc_ablation,
+    run_forgetting_factor_ablation,
+    run_noc_model_comparison,
+)
+from repro.utils.tables import format_table
+
+
+@pytest.mark.benchmark(group="ablation-buffer")
+def test_bench_buffer_size(benchmark, bench_scale):
+    """Online-IL adaptation vs aggregation-buffer size (Sec. IV-A3)."""
+    rows = benchmark.pedantic(run_buffer_size_ablation,
+                              kwargs={"buffer_sizes": (10, 25, 50),
+                                      "scale": bench_scale, "seed": 0},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["buffer", "norm energy", "final acc %", "updates", "storage bytes"],
+        [(r.buffer_capacity, r.normalized_energy, r.final_accuracy_percent,
+          r.policy_updates, r.storage_bytes) for r in rows],
+        title="Ablation — aggregation buffer size"))
+    assert all(r.storage_bytes < 20 * 1024 for r in rows)
+
+
+@pytest.mark.benchmark(group="ablation-forgetting")
+def test_bench_forgetting_factor(benchmark, bench_scale):
+    """Frame-time model error vs RLS forgetting factor (Sec. III-B)."""
+    rows = benchmark.pedantic(run_forgetting_factor_ablation,
+                              kwargs={"factors": (0.85, 0.95, 0.99, 1.0),
+                                      "scale": bench_scale, "seed": 0},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["forgetting factor", "adaptive", "MAPE %"],
+        [("adaptive" if r.adaptive else f"{r.forgetting_factor:.2f}",
+          r.adaptive, r.error_percent) for r in rows],
+        title="Ablation — forgetting factor"))
+    assert all(r.error_percent > 0 for r in rows)
+
+
+@pytest.mark.benchmark(group="ablation-enmpc")
+def test_bench_explicit_nmpc_models(benchmark, bench_scale):
+    """Explicit-NMPC surface fidelity vs approximator choice (Sec. IV-B)."""
+    rows = benchmark.pedantic(run_explicit_nmpc_ablation,
+                              kwargs={"scale": bench_scale, "seed": 0},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["surface model", "disagreement vs NMPC", "samples"],
+        [(r.model_name, r.surface_disagreement, r.surface_samples) for r in rows],
+        title="Ablation — explicit NMPC approximators"))
+    tree = next(r for r in rows if r.model_name == "decision-tree")
+    assert tree.surface_disagreement < 0.4
+
+
+@pytest.mark.benchmark(group="ablation-space")
+def test_bench_config_space(benchmark, bench_scale):
+    """Offline-IL generalisation gap vs configuration-space richness."""
+    rows = benchmark.pedantic(run_config_space_ablation,
+                              kwargs={"scale": bench_scale, "seed": 0},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["space", "configs", "Mi-Bench mean", "unseen mean", "gap"],
+        [(r.space_name, r.n_configurations, r.mibench_mean, r.unseen_mean,
+          r.generalization_gap) for r in rows],
+        title="Ablation — configuration-space richness"))
+    assert rows[1].n_configurations > rows[0].n_configurations
+
+
+@pytest.mark.benchmark(group="ablation-noc")
+def test_bench_noc_models(benchmark):
+    """NoC latency: analytical vs SVR models against the simulator (Sec. III-C)."""
+    result = benchmark.pedantic(run_noc_model_comparison,
+                                kwargs={"mesh_width": 4, "seed": 0},
+                                rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["model", "MAPE % vs simulator"],
+        [("analytical (queuing)", result.analytical_mape_percent),
+         ("SVR (learned)", result.svr_mape_percent)],
+        title="Ablation — NoC latency models"))
+    assert result.svr_mape_percent > 0

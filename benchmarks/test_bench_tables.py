@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Table I and Table II."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_table1,
+    format_table2,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1(benchmark):
+    """Table I: per-snippet counter collection."""
+    result = benchmark(run_table1)
+    print()
+    print(format_table1(result))
+    assert result.covered
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_table2(benchmark, bench_scale):
+    """Table II: offline IL generalisation across suites."""
+    result = benchmark.pedantic(run_table2, args=(bench_scale,),
+                                kwargs={"seed": 0}, rounds=1, iterations=1)
+    print()
+    print(format_table2(result))
+    # Shape assertions mirroring the paper: training suite near the Oracle,
+    # unseen suites clearly worse.
+    assert result.suite_mean("Mi-Bench") < 1.10
+    assert result.suite_mean("Cortex") > result.suite_mean("Mi-Bench")
+    assert result.suite_mean("PARSEC") > result.suite_mean("Mi-Bench")
+    assert result.generalization_gap > 0.02

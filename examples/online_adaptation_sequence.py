@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Online adaptation over an application sequence (the Figure-3/4 scenario).
+
+Both the imitation-learning policy and the table-based RL baseline are trained
+offline on Mi-Bench.  A sequence of CortexSuite and PARSEC applications —
+unknown at design time — is then executed while both policies adapt online.
+The script prints the accuracy-vs-time trajectory (Figure 3) and the
+per-application energy normalised to the Oracle (Figure 4).
+
+Run with:  python examples/online_adaptation_sequence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, run_online_adaptation_study
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+SCALE = ExperimentScale(
+    name="example",
+    train_snippet_factor=0.4,
+    eval_snippet_factor=0.4,
+    sequence_snippet_factor=1.5,
+    offline_epochs=100,
+    buffer_capacity=20,
+    update_epochs=80,
+    rl_offline_episodes=2,
+    gpu_frames=200,
+    nmpc_surface_samples=200,
+)
+
+
+def ascii_curve(time_s: np.ndarray, values: np.ndarray, label: str,
+                width: int = 60) -> str:
+    """Render a coarse ASCII sparkline of an accuracy curve."""
+    indices = np.linspace(0, len(values) - 1, width).astype(int)
+    levels = " .:-=+*#%@"
+    chars = [levels[min(len(levels) - 1, int(values[i] / 100 * (len(levels) - 1)))]
+             for i in indices]
+    return f"{label:>10s} |{''.join(chars)}| {values[-1]:5.1f}% final"
+
+
+def main() -> None:
+    print("Running the online adaptation study (this takes a minute)...")
+    study = run_online_adaptation_study(SCALE, seed=0)
+
+    figure3 = run_figure3(SCALE, study=study)
+    print()
+    print(format_figure3(figure3))
+    print()
+    print("Accuracy over time (0-100%), one column per time bucket:")
+    print(ascii_curve(figure3.time_axis_s, figure3.online_il_near_optimal, "online-IL"))
+    print(ascii_curve(figure3.time_axis_s, figure3.rl_near_optimal, "RL"))
+    print()
+
+    figure4 = run_figure4(SCALE, study=study)
+    print(format_figure4(figure4))
+    print()
+    print(f"Online-IL stays within {100 * (figure4.mean('il') - 1):.1f}% of the "
+          f"Oracle on average; RL is {100 * (figure4.mean('rl') - 1):.1f}% above "
+          f"(worst case {figure4.worst('rl'):.2f}x).")
+
+
+if __name__ == "__main__":
+    main()

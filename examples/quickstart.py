@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: train an offline IL policy, adapt it online, compare to the Oracle.
+
+This example walks through the core workflow of the library on a small scale:
+
+1. build the Odroid-XU3-like platform and its configuration space;
+2. construct the Oracle and train the offline imitation-learning policy on the
+   Mi-Bench applications (the design-time workloads);
+3. evaluate the offline policy on a workload it has never seen (k-means from
+   CortexSuite) and observe the generalisation gap;
+4. build the model-guided online-IL policy and watch it close that gap.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import OnlineLearningFramework
+from repro.utils.tables import format_table
+from repro.workloads.suites import get_workload, training_workloads
+
+
+def main() -> None:
+    framework = OnlineLearningFramework(seed=0)
+    print(f"Platform: {framework.platform.name}  "
+          f"({len(framework.space)} configurations)")
+
+    # ------------------------------------------------------------------ #
+    # Design-time (offline) phase: Oracle construction + IL policy training.
+    # ------------------------------------------------------------------ #
+    design_time_workloads = [w.scaled(0.5) for w in training_workloads()]
+    print(f"Training the offline IL policy on {len(design_time_workloads)} "
+          "Mi-Bench applications...")
+    framework.train_offline(design_time_workloads, epochs=120)
+    accuracy = framework.offline_policy.accuracy_on(framework.offline_dataset)
+    print(f"Offline policy accuracy on its own training data: {accuracy:.2%}\n")
+
+    # ------------------------------------------------------------------ #
+    # Runtime phase: a workload unknown at design time.
+    # ------------------------------------------------------------------ #
+    unseen = get_workload("kmeans").scaled(1.0)
+    offline_run = framework.evaluate_policy(framework.offline_policy, unseen)
+
+    online_policy = framework.build_online_il_policy(buffer_capacity=25,
+                                                     update_epochs=80)
+    online_run = framework.evaluate_policy(online_policy, unseen)
+
+    rows = [
+        ("Oracle (ground truth)", 1.0),
+        ("Offline IL (trained on Mi-Bench)", offline_run.normalized_energy),
+        ("Online IL (model-guided adaptation)", online_run.normalized_energy),
+    ]
+    print(format_table(["policy", "energy vs Oracle"], rows, precision=3,
+                       title=f"Unseen workload: {unseen.name}"))
+    print()
+    diagnostics = online_policy.diagnostics()
+    print(f"Online-IL policy updates: {diagnostics['policy_updates']:.0f}, "
+          f"buffer storage: {diagnostics['buffer_storage_bytes'] / 1024:.1f} KiB, "
+          f"policy parameters: {diagnostics['policy_parameters']:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Deep Q-network DRM controller.
+
+The paper cites deep-Q-learning based resource management [14] and argues it
+is unsuitable for runtime SoC control because of slow, data-hungry
+convergence and reward-design difficulty.  This controller implements the
+classic DQN recipe on top of the numpy MLP: an online Q-network, a periodically
+synchronised target network, an experience replay buffer and epsilon-greedy
+exploration.  It is used in ablation benchmarks alongside the table-based RL
+baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.control.policy import DRMPolicy
+from repro.ml.mlp import MLPRegressor
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.simulator import SnippetResult
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class Transition:
+    """One experience tuple stored in the replay buffer."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO experience replay buffer."""
+
+    def __init__(self, capacity: int = 2000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._storage: Deque[Transition] = deque(maxlen=capacity)
+
+    def push(self, transition: Transition) -> None:
+        self._storage.append(transition)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> List[Transition]:
+        if len(self._storage) == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
+        return [self._storage[int(i)] for i in indices]
+
+
+class DeepQController(DRMPolicy):
+    """DQN controller over the SoC configuration space."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        hidden_sizes=(32, 32),
+        learning_rate: float = 5e-3,
+        discount: float = 0.6,
+        epsilon: float = 0.2,
+        epsilon_decay: float = 0.995,
+        min_epsilon: float = 0.02,
+        batch_size: int = 32,
+        replay_capacity: int = 2000,
+        target_sync_interval: int = 50,
+        train_interval: int = 4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(space)
+        self.n_actions = len(space)
+        self.n_features = PerformanceCounters.n_features()
+        self.discount = float(discount)
+        self.epsilon = float(epsilon)
+        self.epsilon_decay = float(epsilon_decay)
+        self.min_epsilon = float(min_epsilon)
+        self.batch_size = int(batch_size)
+        self.target_sync_interval = int(target_sync_interval)
+        self.train_interval = int(train_interval)
+        self.rng = make_rng(seed)
+        seed_q = int(self.rng.integers(0, 2**31 - 1))
+        seed_t = int(self.rng.integers(0, 2**31 - 1))
+        self.q_network = MLPRegressor(
+            hidden_sizes=hidden_sizes, learning_rate=learning_rate,
+            epochs=1, batch_size=batch_size, seed=seed_q,
+        )
+        self.target_network = MLPRegressor(
+            hidden_sizes=hidden_sizes, learning_rate=learning_rate,
+            epochs=1, batch_size=batch_size, seed=seed_t,
+        )
+        # Initialise both networks on dummy data so predict() is available.
+        dummy_x = np.zeros((2, self.n_features))
+        dummy_y = np.zeros((2, self.n_actions))
+        self.q_network.partial_fit(dummy_x, dummy_y, epochs=1)
+        self.target_network.partial_fit(dummy_x, dummy_y, epochs=1)
+        self._sync_target()
+        self.replay = ReplayBuffer(capacity=replay_capacity)
+        self._last_state: Optional[np.ndarray] = None
+        self._last_action: Optional[int] = None
+        self.n_updates = 0
+
+    def _sync_target(self) -> None:
+        assert self.q_network._core is not None and self.target_network._core is not None
+        self.target_network._core.copy_parameters_from(self.q_network._core)
+
+    def _q_values(self, state: np.ndarray, network: MLPRegressor) -> np.ndarray:
+        return np.asarray(network.predict(state.reshape(1, -1))).reshape(-1)
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        if counters is None:
+            self._last_state = None
+            self._last_action = self.space.index_of(self.current)
+            return self.current
+        state = counters.feature_vector()
+        if self.rng.random() < self.epsilon:
+            action = int(self.rng.integers(0, self.n_actions))
+        else:
+            action = int(np.argmax(self._q_values(state, self.q_network)))
+        self._last_state = state
+        self._last_action = action
+        self.current = self.space[action]
+        return self.current
+
+    def observe(self, result: SnippetResult) -> None:
+        super().observe(result)
+        next_state = result.counters.feature_vector()
+        reward = -result.energy_per_instruction_nj
+        if self._last_action is not None and self._last_state is not None:
+            self.replay.push(Transition(self._last_state, self._last_action,
+                                        reward, next_state))
+        self._last_state = next_state
+        self.n_updates += 1
+        self.epsilon = max(self.min_epsilon, self.epsilon * self.epsilon_decay)
+        if len(self.replay) >= self.batch_size and self.n_updates % self.train_interval == 0:
+            self._train_step()
+        if self.n_updates % self.target_sync_interval == 0:
+            self._sync_target()
+
+    def _train_step(self) -> None:
+        batch = self.replay.sample(self.batch_size, self.rng)
+        states = np.vstack([t.state for t in batch])
+        next_states = np.vstack([t.next_state for t in batch])
+        current_q = np.asarray(self.q_network.predict(states))
+        if current_q.ndim == 1:
+            current_q = current_q.reshape(len(batch), -1)
+        next_q = np.asarray(self.target_network.predict(next_states))
+        if next_q.ndim == 1:
+            next_q = next_q.reshape(len(batch), -1)
+        targets = current_q.copy()
+        for row, transition in enumerate(batch):
+            targets[row, transition.action] = (
+                transition.reward + self.discount * float(np.max(next_q[row]))
+            )
+        self.q_network.partial_fit(states, targets, epochs=1)

@@ -1,0 +1,164 @@
+"""Nonlinear model predictive control for the GPU subsystem (Sec. IV-B).
+
+The controller chooses, before each frame, the GPU operating point and the
+number of active slices that minimise the predicted energy of the upcoming
+frame subject to meeting the FPS deadline.  The prediction uses (a) a
+workload predictor for the next frame's shader work and memory traffic, and
+(b) the GPU's frame-time / power laws (either the true :class:`GPUSpec`
+model or learned equivalents).  The constrained minimisation is solved
+exactly by enumerating the discrete configuration set — this is the
+"expensive" NMPC whose control surface the explicit controller approximates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.frames import Frame, FrameResult
+from repro.gpu.gpu import GPUConfiguration, GPUSpec
+
+
+class WorkloadPredictor:
+    """Predicts the next frame's work and memory traffic from recent frames.
+
+    The predictor keeps an exponentially weighted moving average plus a
+    variability estimate; the prediction adds ``margin_sigma`` standard
+    deviations of headroom so that occasional heavy frames still meet the
+    deadline.  This mirrors how the sensitivity/performance models of
+    Sec. III feed the predictive controller.
+    """
+
+    def __init__(self, smoothing: float = 0.3, margin_sigma: float = 2.0,
+                 window: int = 16) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if margin_sigma < 0:
+            raise ValueError("margin_sigma must be non-negative")
+        self.smoothing = float(smoothing)
+        self.margin_sigma = float(margin_sigma)
+        self._work_average: Optional[float] = None
+        self._memory_average: Optional[float] = None
+        self._recent_work: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._work_average = None
+        self._memory_average = None
+        self._recent_work.clear()
+
+    def observe(self, work_cycles: float, memory_bytes: float) -> None:
+        if self._work_average is None:
+            self._work_average = float(work_cycles)
+            self._memory_average = float(memory_bytes)
+        else:
+            s = self.smoothing
+            self._work_average = (1 - s) * self._work_average + s * float(work_cycles)
+            self._memory_average = (1 - s) * self._memory_average + s * float(memory_bytes)
+        self._recent_work.append(float(work_cycles))
+
+    @property
+    def has_observations(self) -> bool:
+        return self._work_average is not None
+
+    def predict(self) -> Tuple[float, float]:
+        """Return (predicted work cycles, predicted memory bytes) with margin."""
+        if self._work_average is None or self._memory_average is None:
+            raise RuntimeError("predictor has no observations yet")
+        work = self._work_average
+        if len(self._recent_work) >= 2:
+            std = float(np.std(np.array(self._recent_work)))
+            work += self.margin_sigma * std
+        return work, self._memory_average
+
+
+class NMPCGpuController:
+    """Receding-horizon, exhaustive-search NMPC over the GPU knobs."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        target_fps: float,
+        predictor: Optional[WorkloadPredictor] = None,
+        deadline_margin: float = 0.05,
+        horizon: int = 1,
+        slice_switch_energy_j: float = 0.002,
+    ) -> None:
+        if target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+        if not 0.0 <= deadline_margin < 1.0:
+            raise ValueError("deadline_margin must be in [0, 1)")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.gpu = gpu
+        self.target_fps = float(target_fps)
+        self.predictor = predictor or WorkloadPredictor()
+        self.deadline_margin = float(deadline_margin)
+        self.horizon = int(horizon)
+        self.slice_switch_energy_j = float(slice_switch_energy_j)
+        self.current = GPUConfiguration(opp_index=len(gpu.opps) - 1,
+                                        active_slices=gpu.n_slices)
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self.current = GPUConfiguration(opp_index=len(self.gpu.opps) - 1,
+                                        active_slices=self.gpu.n_slices)
+
+    # ------------------------------------------------------------------ #
+    def predicted_energy_j(self, config: GPUConfiguration, work_cycles: float,
+                           memory_bytes: float) -> float:
+        """Predicted GPU energy of one frame at ``config`` (race-to-idle)."""
+        deadline = 1.0 / self.target_fps
+        busy = self.gpu.busy_time_s(config, work_cycles, memory_bytes)
+        frame_time = max(busy, deadline)
+        idle = frame_time - busy
+        energy = (
+            self.gpu.active_power_w(config) * busy
+            + self.gpu.idle_power_w_at(config) * idle
+        )
+        if config.active_slices != self.current.active_slices:
+            energy += self.slice_switch_energy_j * abs(
+                config.active_slices - self.current.active_slices
+            )
+        return energy
+
+    def solve(self, work_cycles: float, memory_bytes: float) -> GPUConfiguration:
+        """Exhaustively minimise predicted energy subject to the deadline."""
+        deadline = (1.0 / self.target_fps) * (1.0 - self.deadline_margin)
+        feasible: List[Tuple[float, GPUConfiguration]] = []
+        infeasible: List[Tuple[float, GPUConfiguration]] = []
+        for config in self.gpu.configurations():
+            busy = self.gpu.busy_time_s(config, work_cycles, memory_bytes)
+            energy = self.predicted_energy_j(config, work_cycles, memory_bytes)
+            if busy <= deadline:
+                feasible.append((energy, config))
+            else:
+                # Track the fastest configuration as a fallback when nothing
+                # meets the deadline (overload): minimise the busy time.
+                infeasible.append((busy, config))
+        if feasible:
+            feasible.sort(key=lambda item: (item[0], item[1].opp_index,
+                                            item[1].active_slices))
+            return feasible[0][1]
+        infeasible.sort(key=lambda item: item[0])
+        return infeasible[0][1]
+
+    # ------------------------------------------------------------------ #
+    # GPUController protocol
+    # ------------------------------------------------------------------ #
+    def decide(self, upcoming_frame: Optional[Frame] = None) -> GPUConfiguration:
+        """Choose the configuration for the next frame.
+
+        The true upcoming frame (if provided by the simulator) is *not*
+        inspected — the controller acts on its workload predictor, exactly
+        like the hardware implementation would.
+        """
+        if not self.predictor.has_observations:
+            return self.current
+        work, memory = self.predictor.predict()
+        self.current = self.solve(work, memory)
+        return self.current
+
+    def observe(self, result: FrameResult) -> None:
+        self.predictor.observe(result.frame.work_cycles, result.frame.memory_bytes)

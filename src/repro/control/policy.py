@@ -1,0 +1,76 @@
+"""Common interface for CPU dynamic-resource-management policies.
+
+Every policy — the Oracle, offline/online IL, RL, and the simple governors —
+implements the same decision loop so the experiment runner can swap them
+freely:
+
+1. ``decide(counters)`` returns the configuration for the *next* snippet
+   based on the counters observed for the previous one;
+2. the runner executes the snippet at that configuration;
+3. ``observe(result)`` feeds the outcome back (used by learning policies).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.simulator import SnippetResult
+from repro.utils.rng import SeedLike, make_rng
+
+
+class DRMPolicy(abc.ABC):
+    """Base class for snippet-level DRM policies."""
+
+    def __init__(self, space: ConfigurationSpace) -> None:
+        self.space = space
+        self.current = space.default_configuration()
+
+    def reset(self, configuration: Optional[SoCConfiguration] = None) -> None:
+        """Reset the policy's runtime state before a new run."""
+        self.current = configuration or self.space.default_configuration()
+
+    @abc.abstractmethod
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        """Return the configuration for the next snippet.
+
+        ``counters`` is ``None`` for the very first snippet of a run (no
+        observation is available yet); policies should fall back to their
+        current/default configuration in that case.
+        """
+
+    def observe(self, result: SnippetResult) -> None:
+        """Consume the result of the snippet that was just executed."""
+        self.current = result.configuration
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class StaticPolicy(DRMPolicy):
+    """Always selects one fixed configuration (useful baseline and test stub)."""
+
+    def __init__(self, space: ConfigurationSpace,
+                 configuration: Optional[SoCConfiguration] = None) -> None:
+        super().__init__(space)
+        self.configuration = configuration or space.default_configuration()
+        if not space.contains(self.configuration):
+            raise ValueError("configuration is not part of the configuration space")
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        return self.configuration
+
+
+class RandomPolicy(DRMPolicy):
+    """Selects a uniformly random configuration each snippet (exploration floor)."""
+
+    def __init__(self, space: ConfigurationSpace, seed: SeedLike = None) -> None:
+        super().__init__(space)
+        self.rng = make_rng(seed)
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        self.current = self.space.random_configuration(self.rng)
+        return self.current

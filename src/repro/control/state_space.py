@@ -1,0 +1,71 @@
+"""Fast-rate frequency controller (the multi-rate controller's inner loop).
+
+The multi-rate scheme of Sec. IV-B manages the slice count at a coarse time
+granularity and the operating frequency at a fine granularity "using hardware
+support for fast changes in frequency and voltage.  It applies a state-space
+control since it is known to be robust for handling discrete control
+problems."  The controller below is a discrete integral (state-space)
+tracker: it adjusts the OPP index so that the predicted busy time of the next
+frame tracks a utilisation set-point below the deadline, with anti-windup on
+the integral state and clamping to the valid OPP range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.frames import FrameResult
+from repro.gpu.gpu import GPUSpec
+
+
+class FastRateFrequencyController:
+    """Integral state-space controller for per-frame DVFS corrections."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        target_fps: float,
+        utilization_setpoint: float = 0.90,
+        gain: float = 2.0,
+        integral_limit: float = 3.0,
+    ) -> None:
+        if target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+        if not 0.0 < utilization_setpoint <= 1.0:
+            raise ValueError("utilization_setpoint must be in (0, 1]")
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.gpu = gpu
+        self.target_fps = float(target_fps)
+        self.utilization_setpoint = float(utilization_setpoint)
+        self.gain = float(gain)
+        self.integral_limit = float(integral_limit)
+        self._integral = 0.0
+
+    def reset(self) -> None:
+        self._integral = 0.0
+
+    def correction(self, last_result: Optional[FrameResult]) -> int:
+        """Return the OPP-index correction (signed integer steps).
+
+        Positive corrections mean "raise the frequency" (the last frame ran
+        too close to — or past — the deadline); negative corrections lower it.
+        """
+        if last_result is None:
+            return 0
+        deadline = 1.0 / self.target_fps
+        utilization = last_result.busy_time_s / deadline
+        error = utilization - self.utilization_setpoint
+        self._integral += error
+        self._integral = max(-self.integral_limit,
+                             min(self.integral_limit, self._integral))
+        # Deadline miss: force an immediate step up regardless of the integral.
+        if utilization > 1.0:
+            return max(1, int(round(self.gain * error)))
+        raw = self.gain * error + 0.5 * self._integral
+        return int(round(raw))
+
+    def apply(self, opp_index: int, last_result: Optional[FrameResult]) -> int:
+        """Apply the correction to ``opp_index`` and clamp to the OPP table."""
+        corrected = opp_index + self.correction(last_result)
+        return self.gpu.opps.clamp_index(corrected)

@@ -1,0 +1,66 @@
+"""Optimisation objectives for DRM policies.
+
+The Oracle policies of the offline-IL works "optimize different objectives
+(e.g., energy consumption, performance-per-watt)".  An :class:`Objective`
+assigns a scalar cost to a snippet execution result; lower is better, so the
+Oracle picks the configuration minimising the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.soc.simulator import SnippetResult
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named, lower-is-better cost over snippet execution results."""
+
+    name: str
+    cost: Callable[[SnippetResult], float]
+    description: str = ""
+
+    def __call__(self, result: SnippetResult) -> float:
+        return float(self.cost(result))
+
+
+def _energy(result: SnippetResult) -> float:
+    return result.energy_j
+
+
+def _edp(result: SnippetResult) -> float:
+    return result.energy_delay_product
+
+
+def _performance(result: SnippetResult) -> float:
+    # Lower cost = faster execution.
+    return result.execution_time_s
+
+
+def _negative_ppw(result: SnippetResult) -> float:
+    return -result.performance_per_watt
+
+
+#: Minimise total energy consumption (the objective of Table II / Figs. 3-4).
+ENERGY = Objective("energy", _energy, "Total energy consumption (J)")
+
+#: Minimise the energy-delay product.
+EDP = Objective("edp", _edp, "Energy-delay product (J*s)")
+
+#: Minimise execution time (maximise performance).
+PERFORMANCE = Objective("performance", _performance, "Execution time (s)")
+
+#: Maximise performance-per-watt (instructions per second per watt).
+PPW = Objective("ppw", _negative_ppw, "Negative performance-per-watt")
+
+ALL_OBJECTIVES = {obj.name: obj for obj in (ENERGY, EDP, PERFORMANCE, PPW)}
+
+
+def get_objective(name: str) -> Objective:
+    """Look up a predefined objective by name."""
+    key = name.lower()
+    if key not in ALL_OBJECTIVES:
+        raise KeyError(f"unknown objective {name!r}; available: {sorted(ALL_OBJECTIVES)}")
+    return ALL_OBJECTIVES[key]

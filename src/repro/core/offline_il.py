@@ -1,0 +1,161 @@
+"""Offline imitation-learning policy (Sec. IV-A1).
+
+The offline IL methodology approximates the Oracle with a supervised model:
+the Oracle is executed over the design-time (training) applications, the
+Table-I counters observed along the way form the states, and the Oracle's
+chosen configurations form the action labels.  Any off-the-shelf model can
+represent the policy; following the paper (and its references [18, 19]) this
+module supports a neural-network classifier (the representation used for the
+online-adaptive policy) as well as a regression-tree classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.control.policy import DRMPolicy
+from repro.core.objectives import ENERGY, Objective
+from repro.core.oracle import OracleTable, build_oracle
+from repro.ml.base import Classifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.scaling import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.simulator import SoCSimulator
+from repro.soc.snippet import Snippet
+
+
+@dataclass
+class ILDataset:
+    """Supervised dataset of (counter features, oracle configuration index)."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    applications: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError("features and labels must have the same length")
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    def merge(self, other: "ILDataset") -> "ILDataset":
+        return ILDataset(
+            features=np.vstack([self.features, other.features]),
+            labels=np.concatenate([self.labels, other.labels]),
+            applications=self.applications + other.applications,
+        )
+
+
+def collect_il_dataset(
+    simulator: SoCSimulator,
+    space: ConfigurationSpace,
+    snippets: Sequence[Snippet],
+    objective: Objective = ENERGY,
+    oracle_table: Optional[OracleTable] = None,
+) -> ILDataset:
+    """Execute ``snippets`` under the Oracle and collect (state, action) pairs.
+
+    The state for snippet ``k`` is the counter feature vector observed while
+    executing snippet ``k-1`` at its Oracle configuration (the information a
+    deployed policy would have when making the decision); the label is the
+    Oracle configuration index for snippet ``k``.  The first snippet of the
+    sequence is skipped because no prior observation exists.
+    """
+    table = oracle_table or build_oracle(simulator, space, snippets, objective)
+    features: List[np.ndarray] = []
+    labels: List[int] = []
+    applications: List[str] = []
+    previous_counters: Optional[PerformanceCounters] = None
+    for snippet in snippets:
+        best_config = table.best_configuration(snippet)
+        if previous_counters is not None:
+            features.append(previous_counters.feature_vector())
+            labels.append(space.index_of(best_config))
+            applications.append(snippet.application)
+        result = simulator.run_snippet(snippet, best_config)
+        previous_counters = result.counters
+    if not features:
+        raise ValueError("need at least two snippets to build an IL dataset")
+    return ILDataset(
+        features=np.vstack(features),
+        labels=np.array(labels, dtype=int),
+        applications=applications,
+    )
+
+
+class OfflineILPolicy(DRMPolicy):
+    """Supervised approximation of the Oracle policy.
+
+    Parameters
+    ----------
+    space:
+        The configuration space whose indices serve as class labels.
+    model:
+        ``"mlp"`` (default, the representation used by the online-adaptive
+        policy), ``"tree"`` (regression-tree classifier as in [18, 19]) or a
+        pre-constructed :class:`~repro.ml.base.Classifier` instance.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        model: object = "mlp",
+        hidden_sizes: Sequence[int] = (24, 24),
+        epochs: int = 150,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(space)
+        self.scaler = StandardScaler()
+        if isinstance(model, Classifier):
+            self.classifier: Classifier = model
+        elif model == "mlp":
+            self.classifier = MLPClassifier(
+                hidden_sizes=hidden_sizes, epochs=epochs, seed=seed,
+                learning_rate=5e-3,
+            )
+        elif model == "tree":
+            self.classifier = DecisionTreeClassifier(max_depth=10,
+                                                     min_samples_leaf=2)
+        else:
+            raise ValueError(f"unknown model specification {model!r}")
+        self._trained = False
+
+    def train(self, dataset: ILDataset) -> "OfflineILPolicy":
+        """Fit the policy to an offline IL dataset."""
+        scaled = self.scaler.fit_transform(dataset.features)
+        if isinstance(self.classifier, MLPClassifier):
+            self.classifier.ensure_classes(
+                classes=range(len(self.space)), n_features=scaled.shape[1]
+            )
+            self.classifier.partial_fit(scaled, dataset.labels,
+                                        epochs=self.classifier.epochs)
+        else:
+            self.classifier.fit(scaled, dataset.labels)
+        self._trained = True
+        return self
+
+    def predict_index(self, counters: PerformanceCounters) -> int:
+        if not self._trained:
+            raise RuntimeError("OfflineILPolicy has not been trained yet")
+        features = self.scaler.transform(counters.feature_vector().reshape(1, -1))
+        return int(self.classifier.predict(features)[0])
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        if counters is None or not self._trained:
+            return self.current
+        index = self.predict_index(counters)
+        index = max(0, min(len(self.space) - 1, index))
+        self.current = self.space[index]
+        return self.current
+
+    def accuracy_on(self, dataset: ILDataset) -> float:
+        """Top-1 accuracy of the policy against the Oracle labels."""
+        scaled = self.scaler.transform(dataset.features)
+        predictions = self.classifier.predict(scaled)
+        return float(np.mean(predictions == dataset.labels))

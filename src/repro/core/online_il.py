@@ -1,0 +1,123 @@
+"""Model-guided online imitation learning policy (Sec. IV-A3).
+
+The policy starts from an offline-trained neural-network IL policy and from
+offline-bootstrapped power/performance models.  At runtime, after every
+snippet:
+
+1. the online models are updated with the observed counters (Sec. III-B);
+2. the runtime Oracle evaluates candidate configurations in the neighbourhood
+   of the current configuration and selects the predicted-best one;
+3. the (counter features, predicted-best configuration) pair is appended to
+   the aggregation buffer;
+4. when the buffer is full, the neural-network policy is updated with
+   back-propagation on the buffered data and the buffer is reset.
+
+The actual control decision applied to the system is the policy's own
+prediction — imitation learning updates the policy toward the runtime Oracle
+rather than acting on the Oracle directly, which keeps the runtime decision
+cost at a single forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.control.policy import DRMPolicy
+from repro.core.buffer import AggregationBuffer
+from repro.core.offline_il import OfflineILPolicy
+from repro.core.runtime_oracle import RuntimeOracle
+from repro.ml.mlp import MLPClassifier
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.simulator import SnippetResult
+
+
+class OnlineILPolicy(DRMPolicy):
+    """Online-adaptive imitation-learning DRM policy."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        offline_policy: OfflineILPolicy,
+        runtime_oracle: RuntimeOracle,
+        buffer_capacity: int = 100,
+        update_epochs: int = 30,
+        min_model_updates: int = 3,
+    ) -> None:
+        super().__init__(space)
+        if not isinstance(offline_policy.classifier, MLPClassifier):
+            raise TypeError(
+                "OnlineILPolicy requires an MLP-based offline policy "
+                "(the paper's online policy is a neural network updated with "
+                "back-propagation)"
+            )
+        if update_epochs < 1:
+            raise ValueError("update_epochs must be >= 1")
+        self.offline_policy = offline_policy
+        self.runtime_oracle = runtime_oracle
+        self.buffer = AggregationBuffer(capacity=buffer_capacity)
+        self.update_epochs = int(update_epochs)
+        self.min_model_updates = int(min_model_updates)
+        self.n_policy_updates = 0
+        self.n_supervision_labels = 0
+        self._last_runtime_label: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def classifier(self) -> MLPClassifier:
+        classifier = self.offline_policy.classifier
+        assert isinstance(classifier, MLPClassifier)
+        return classifier
+
+    def _scaled(self, counters: PerformanceCounters) -> np.ndarray:
+        return self.offline_policy.scaler.transform(
+            counters.feature_vector().reshape(1, -1)
+        )
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        if counters is None:
+            return self.current
+        scaled = self._scaled(counters)
+
+        # Model-guided supervision: query the runtime Oracle once its online
+        # models have seen enough data to be meaningful.
+        if self.runtime_oracle.n_model_updates >= self.min_model_updates:
+            best_config, _ = self.runtime_oracle.best_configuration(
+                counters, self.current
+            )
+            label = self.space.index_of(best_config)
+            self._last_runtime_label = label
+            self.n_supervision_labels += 1
+            became_full = self.buffer.insert(scaled.ravel(), label)
+            if became_full:
+                self._update_policy()
+
+        # The applied decision is the (possibly just updated) policy's own.
+        predicted_index = int(self.classifier.predict(scaled)[0])
+        predicted_index = max(0, min(len(self.space) - 1, predicted_index))
+        self.current = self.space[predicted_index]
+        return self.current
+
+    def _update_policy(self) -> None:
+        features, labels = self.buffer.drain()
+        self.classifier.partial_fit(features, labels, epochs=self.update_epochs)
+        self.n_policy_updates += 1
+
+    def observe(self, result: SnippetResult) -> None:
+        super().observe(result)
+        self.runtime_oracle.update_models(result.counters, result.configuration)
+
+    # ------------------------------------------------------------------ #
+    def diagnostics(self) -> Dict[str, float]:
+        """Counters describing the online adaptation activity."""
+        return {
+            "policy_updates": float(self.n_policy_updates),
+            "supervision_labels": float(self.n_supervision_labels),
+            "buffer_fill": float(len(self.buffer)),
+            "buffer_capacity": float(self.buffer.capacity),
+            "buffer_storage_bytes": float(self.buffer.storage_bytes()),
+            "model_updates": float(self.runtime_oracle.n_model_updates),
+            "policy_parameters": float(self.classifier.parameter_count()),
+        }

@@ -1,0 +1,137 @@
+"""Oracle policy construction (Sec. IV-A1).
+
+"Each snippet in the set of target applications is executed at each
+configuration supported by the SoC ... these system states and power
+consumption measurements are used to construct Oracle policies which optimise
+different objectives."
+
+The :class:`OraclePolicy` here does exactly that against the SoC simulator:
+for every snippet it sweeps the full configuration space (noise free) and
+records the configuration minimising the objective.  The resulting
+:class:`OracleTable` is the ground truth used (a) to normalise policy energy
+(Table II, Fig. 4), (b) to measure decision accuracy (Fig. 3), and (c) to
+label the offline IL training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.control.policy import DRMPolicy
+from repro.core.objectives import ENERGY, Objective
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.simulator import SnippetResult, SoCSimulator
+from repro.soc.snippet import Snippet
+
+
+@dataclass
+class OracleEntry:
+    """Best configuration and cost for one snippet."""
+
+    snippet_name: str
+    best_configuration: SoCConfiguration
+    best_cost: float
+    best_result: SnippetResult
+
+
+@dataclass
+class OracleTable:
+    """Mapping from snippet name to its Oracle entry."""
+
+    objective_name: str
+    entries: Dict[str, OracleEntry] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, snippet_name: str) -> bool:
+        return snippet_name in self.entries
+
+    def entry(self, snippet: Snippet) -> OracleEntry:
+        if snippet.name not in self.entries:
+            raise KeyError(f"snippet {snippet.name!r} not in Oracle table")
+        return self.entries[snippet.name]
+
+    def best_configuration(self, snippet: Snippet) -> SoCConfiguration:
+        return self.entry(snippet).best_configuration
+
+    def total_cost(self, snippets: Iterable[Snippet]) -> float:
+        return sum(self.entry(s).best_cost for s in snippets)
+
+    def storage_bytes(self, bytes_per_entry: int = 64) -> int:
+        """Rough storage footprint — the reason Oracles cannot ship in firmware."""
+        return len(self.entries) * bytes_per_entry
+
+
+class OraclePolicy(DRMPolicy):
+    """Policy that plays back the per-snippet optimal configurations.
+
+    Unlike a deployable policy, the Oracle is told which snippet is about to
+    execute (via :meth:`prepare_for`) — it has perfect knowledge by
+    construction.  The framework runner handles this automatically.
+    """
+
+    def __init__(self, space: ConfigurationSpace, table: OracleTable) -> None:
+        super().__init__(space)
+        self.table = table
+        self._next_snippet: Optional[Snippet] = None
+
+    def prepare_for(self, snippet: Snippet) -> None:
+        """Tell the Oracle which snippet the next decision is for."""
+        self._next_snippet = snippet
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        if self._next_snippet is None:
+            return self.current
+        self.current = self.table.best_configuration(self._next_snippet)
+        return self.current
+
+
+def build_oracle(
+    simulator: SoCSimulator,
+    space: ConfigurationSpace,
+    snippets: Iterable[Snippet],
+    objective: Objective = ENERGY,
+) -> OracleTable:
+    """Exhaustively construct the Oracle table for ``snippets``.
+
+    Every snippet is evaluated (noise-free) at every configuration of the
+    space; the minimising configuration is stored.  The sweep scales as
+    ``len(snippets) * len(space)`` — cheap in simulation, but this is exactly
+    the "high computational complexity" that makes Oracle construction
+    impossible at runtime on real hardware.
+    """
+    table = OracleTable(objective_name=objective.name)
+    for snippet in snippets:
+        best_config: Optional[SoCConfiguration] = None
+        best_cost = float("inf")
+        best_result: Optional[SnippetResult] = None
+        for config in space:
+            result = simulator.evaluate_expected(snippet, config)
+            cost = objective(result)
+            if cost < best_cost:
+                best_cost = cost
+                best_config = config
+                best_result = result
+        assert best_config is not None and best_result is not None
+        table.entries[snippet.name] = OracleEntry(
+            snippet_name=snippet.name,
+            best_configuration=best_config,
+            best_cost=best_cost,
+            best_result=best_result,
+        )
+    return table
+
+
+def oracle_energy_for(
+    simulator: SoCSimulator,
+    space: ConfigurationSpace,
+    snippets: List[Snippet],
+    objective: Objective = ENERGY,
+    table: Optional[OracleTable] = None,
+) -> float:
+    """Total objective cost achieved by the Oracle over ``snippets``."""
+    oracle_table = table or build_oracle(simulator, space, snippets, objective)
+    return oracle_table.total_cost(snippets)

@@ -1,0 +1,109 @@
+"""Runtime approximation of the Oracle (Sec. IV-A3).
+
+"Before each control decision, these models and the state data are used to
+estimate the energy consumption of candidate configurations in a local
+neighborhood of the current configuration ... the configuration with the
+minimum energy consumption is marked as the optimal configuration and added
+to the runtime approximation of the Oracle."
+
+The :class:`RuntimeOracle` asks the online power and performance models (not
+the simulator!) for the predicted power and execution time of each candidate
+configuration, reusing the counters observed at the current configuration as
+the paper prescribes, and returns the candidate minimising the predicted
+energy (or energy-delay product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.models.performance import CpuPerformanceModel
+from repro.models.power import CpuPowerModel
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+
+
+@dataclass
+class CandidateEstimate:
+    """Predicted metrics of one candidate configuration."""
+
+    configuration: SoCConfiguration
+    predicted_power_w: float
+    predicted_time_s: float
+
+    @property
+    def predicted_energy_j(self) -> float:
+        return self.predicted_power_w * self.predicted_time_s
+
+    @property
+    def predicted_edp(self) -> float:
+        return self.predicted_energy_j * self.predicted_time_s
+
+
+class RuntimeOracle:
+    """Model-driven selection of the best candidate configuration."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        power_model: CpuPowerModel,
+        performance_model: CpuPerformanceModel,
+        neighborhood_radius: int = 2,
+        metric: str = "energy",
+    ) -> None:
+        if neighborhood_radius < 1:
+            raise ValueError("neighborhood_radius must be >= 1")
+        if metric not in ("energy", "edp"):
+            raise ValueError("metric must be 'energy' or 'edp'")
+        self.space = space
+        self.power_model = power_model
+        self.performance_model = performance_model
+        self.neighborhood_radius = int(neighborhood_radius)
+        self.metric = metric
+
+    def candidate_estimates(
+        self, counters: PerformanceCounters, current: SoCConfiguration
+    ) -> List[CandidateEstimate]:
+        """Predicted power/time/energy for every candidate configuration."""
+        candidates = self.space.neighbors(
+            current, radius=self.neighborhood_radius, include_self=True
+        )
+        estimates: List[CandidateEstimate] = []
+        for candidate in candidates:
+            power = self.power_model.predict(counters, candidate,
+                                             reference_config=current)
+            time_s = self.performance_model.predict_time_s(
+                counters, candidate, reference_config=current
+            )
+            estimates.append(
+                CandidateEstimate(
+                    configuration=candidate,
+                    predicted_power_w=power,
+                    predicted_time_s=time_s,
+                )
+            )
+        return estimates
+
+    def best_configuration(
+        self, counters: PerformanceCounters, current: SoCConfiguration
+    ) -> Tuple[SoCConfiguration, CandidateEstimate]:
+        """The candidate with the minimum predicted objective."""
+        estimates = self.candidate_estimates(counters, current)
+        if self.metric == "energy":
+            key = lambda est: est.predicted_energy_j  # noqa: E731
+        else:
+            key = lambda est: est.predicted_edp  # noqa: E731
+        best = min(estimates, key=key)
+        return best.configuration, best
+
+    def update_models(self, counters: PerformanceCounters,
+                      config: SoCConfiguration) -> Dict[str, float]:
+        """Feed one observation to both online models; returns their errors."""
+        power_error = self.power_model.update(counters, config)
+        time_error = self.performance_model.update(counters, config)
+        return {"power_error_w": power_error, "time_error_s": time_error}
+
+    @property
+    def n_model_updates(self) -> int:
+        return min(self.power_model.n_updates, self.performance_model.n_updates)

@@ -1,0 +1,177 @@
+"""Shared experiment infrastructure: scale presets and the adaptation study.
+
+``ExperimentScale`` controls how long the synthetic traces are and how much
+offline training is performed, so the same experiment code serves both the
+fast unit/benchmark runs (``QUICK``) and the full reproduction (``FULL``).
+``OnlineAdaptationStudy`` performs the shared heavy lifting behind Figures 3
+and 4: train the IL and RL policies offline on Mi-Bench, then adapt both
+online over a Cortex+PARSEC application sequence while tracking accuracy and
+energy against the Oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.control.rl import QLearningController
+from repro.core.framework import OnlineLearningFramework, PolicyRunResult
+from repro.core.online_il import OnlineILPolicy
+from repro.utils.rng import SeedLike
+from repro.workloads.sequences import ApplicationSequence, build_online_sequence
+from repro.workloads.suites import (
+    figure4_workloads,
+    training_workloads,
+    unseen_workloads,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling experiment runtime vs fidelity."""
+
+    name: str
+    train_snippet_factor: float = 0.5
+    eval_snippet_factor: float = 0.5
+    sequence_snippet_factor: float = 2.0
+    offline_epochs: int = 120
+    buffer_capacity: int = 25
+    update_epochs: int = 80
+    rl_offline_episodes: int = 2
+    gpu_frames: int = 300
+    nmpc_surface_samples: int = 250
+
+    def __post_init__(self) -> None:
+        for attr in ("train_snippet_factor", "eval_snippet_factor",
+                     "sequence_snippet_factor"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+
+#: Fast preset used by unit tests and smoke runs (tens of seconds end to end).
+QUICK = ExperimentScale(
+    name="quick",
+    train_snippet_factor=0.25,
+    eval_snippet_factor=0.25,
+    sequence_snippet_factor=1.0,
+    offline_epochs=60,
+    buffer_capacity=15,
+    update_epochs=60,
+    rl_offline_episodes=1,
+    gpu_frames=150,
+    nmpc_surface_samples=150,
+)
+
+#: Full preset used by the benchmark harness (minutes end to end).
+FULL = ExperimentScale(
+    name="full",
+    train_snippet_factor=1.0,
+    eval_snippet_factor=1.0,
+    sequence_snippet_factor=4.0,
+    offline_epochs=150,
+    buffer_capacity=50,
+    update_epochs=80,
+    rl_offline_episodes=3,
+    gpu_frames=600,
+    nmpc_surface_samples=400,
+)
+
+
+def build_trained_framework(scale: ExperimentScale = QUICK,
+                            seed: SeedLike = 0,
+                            allow_core_gating: bool = False) -> OnlineLearningFramework:
+    """Framework with the offline IL policy trained on the Mi-Bench suite."""
+    framework = OnlineLearningFramework(seed=seed,
+                                        allow_core_gating=allow_core_gating)
+    workloads = [w.scaled(scale.train_snippet_factor) for w in training_workloads()]
+    framework.train_offline(workloads, epochs=scale.offline_epochs)
+    return framework
+
+
+@dataclass
+class OnlineAdaptationStudy:
+    """Shared Figure-3 / Figure-4 study results."""
+
+    framework: OnlineLearningFramework
+    sequence: ApplicationSequence
+    online_il_run: PolicyRunResult
+    rl_run: PolicyRunResult
+    offline_il_per_app: Dict[str, float] = field(default_factory=dict)
+    rl_offline_per_app: Dict[str, float] = field(default_factory=dict)
+    oracle_offline_per_app: Dict[str, float] = field(default_factory=dict)
+
+    def online_per_app_normalized(self, run: PolicyRunResult) -> Dict[str, float]:
+        """Per-application energy of an online run normalised to the Oracle."""
+        per_app: Dict[str, float] = {}
+        oracle_per_app: Dict[str, float] = {}
+        for record, result in zip(run.log, run.results):
+            app = result.snippet.application
+            per_app[app] = per_app.get(app, 0.0) + result.energy_j
+            oracle_per_app[app] = (
+                oracle_per_app.get(app, 0.0) + record.get("oracle_energy_j")
+            )
+        return {app: per_app[app] / oracle_per_app[app] for app in per_app}
+
+
+def run_online_adaptation_study(
+    scale: ExperimentScale = QUICK,
+    seed: SeedLike = 0,
+    include_offline_apps: bool = True,
+) -> OnlineAdaptationStudy:
+    """Train offline on Mi-Bench, adapt online over Cortex + PARSEC.
+
+    Returns the per-policy sequence runs (for Fig. 3 accuracy curves) and the
+    per-application energies (for Fig. 4), including the Mi-Bench "offline"
+    group evaluated with the design-time policies when requested.
+    """
+    framework = build_trained_framework(scale, seed=seed)
+
+    online_policy: OnlineILPolicy = framework.build_online_il_policy(
+        buffer_capacity=scale.buffer_capacity,
+        update_epochs=scale.update_epochs,
+    )
+    rl_policy: QLearningController = framework.build_rl_policy()
+    framework.train_rl_offline(
+        rl_policy,
+        [w.scaled(scale.train_snippet_factor) for w in training_workloads()],
+        episodes=scale.rl_offline_episodes,
+    )
+
+    offline_il_per_app: Dict[str, float] = {}
+    rl_offline_per_app: Dict[str, float] = {}
+    oracle_offline_per_app: Dict[str, float] = {}
+    if include_offline_apps:
+        for workload in training_workloads():
+            spec = workload.scaled(scale.eval_snippet_factor)
+            il_run = framework.evaluate_policy(framework.offline_policy, spec)
+            rl_eval = framework.evaluate_policy(rl_policy, spec,
+                                                reset_policy=False)
+            offline_il_per_app[workload.name] = il_run.total_energy_j
+            rl_offline_per_app[workload.name] = rl_eval.total_energy_j
+            oracle_offline_per_app[workload.name] = float(il_run.oracle_energy_j)
+
+    sequence = build_online_sequence(
+        specs=unseen_workloads(),
+        snippet_factor=scale.sequence_snippet_factor,
+        seed=seed,
+    )
+    online_run = framework.evaluate_policy_on_snippets(online_policy,
+                                                       sequence.snippets)
+    rl_run = framework.evaluate_policy_on_snippets(rl_policy, sequence.snippets,
+                                                   reset_policy=False)
+    return OnlineAdaptationStudy(
+        framework=framework,
+        sequence=sequence,
+        online_il_run=online_run,
+        rl_run=rl_run,
+        offline_il_per_app=offline_il_per_app,
+        rl_offline_per_app=rl_offline_per_app,
+        oracle_offline_per_app=oracle_offline_per_app,
+    )
+
+
+def figure4_application_order() -> List[str]:
+    """Application names in the paper's Figure-4 x-axis order."""
+    return [w.name for w in figure4_workloads()]

@@ -1,0 +1,87 @@
+"""Baseline GPU power-management policy.
+
+The paper's Figure 5 compares explicit NMPC against "the baseline algorithm"
+for GPU power management: a conventional frequency-only governor that keeps
+every slice powered and selects the operating frequency reactively from
+recent frame times with a safety margin — representative of shipping
+utilisation/deadline-driven GPU governors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.gpu.frames import Frame, FrameResult
+from repro.gpu.gpu import GPUConfiguration, GPUSpec
+
+
+class BaselineGPUGovernor:
+    """Reactive frequency-only governor with a fixed headroom margin.
+
+    The governor tracks the worst-case busy time over a sliding window of
+    recent frames and picks the lowest frequency that would have rendered that
+    worst-case frame within ``1 / (1 + headroom)`` of the deadline, with all
+    slices always powered.  This emulates the conservative behaviour of
+    utilisation-threshold GPU governors: they must leave margin because they
+    cannot predict the next frame's load.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        target_fps: float,
+        headroom: float = 0.45,
+        window: int = 12,
+    ) -> None:
+        if target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.gpu = gpu
+        self.target_fps = float(target_fps)
+        self.headroom = float(headroom)
+        self.window = int(window)
+        self._recent_work: Deque[float] = deque(maxlen=window)
+        self._recent_memory: Deque[float] = deque(maxlen=window)
+        self.current = GPUConfiguration(
+            opp_index=len(gpu.opps) - 1, active_slices=gpu.n_slices
+        )
+
+    def reset(self) -> None:
+        self._recent_work.clear()
+        self._recent_memory.clear()
+        self.current = GPUConfiguration(
+            opp_index=len(self.gpu.opps) - 1, active_slices=self.gpu.n_slices
+        )
+
+    def observe(self, result: FrameResult) -> None:
+        """Record the rendered frame's workload for the next decision."""
+        self._recent_work.append(result.frame.work_cycles)
+        self._recent_memory.append(result.frame.memory_bytes)
+
+    def decide(self, upcoming_frame: Optional[Frame] = None) -> GPUConfiguration:
+        """Choose the configuration for the next frame.
+
+        The baseline cannot see the upcoming frame's true load (the argument
+        is accepted for interface compatibility and ignored); it provisions
+        for the worst recent frame plus ``headroom``.
+        """
+        deadline = 1.0 / self.target_fps
+        if not self._recent_work:
+            return self.current
+        worst_work = max(self._recent_work) * (1.0 + self.headroom)
+        worst_memory = max(self._recent_memory) * (1.0 + self.headroom)
+        chosen_index = len(self.gpu.opps) - 1
+        for opp_index in range(len(self.gpu.opps)):
+            config = GPUConfiguration(opp_index=opp_index,
+                                      active_slices=self.gpu.n_slices)
+            busy = self.gpu.busy_time_s(config, worst_work, worst_memory)
+            if busy <= deadline:
+                chosen_index = opp_index
+                break
+        self.current = GPUConfiguration(opp_index=chosen_index,
+                                        active_slices=self.gpu.n_slices)
+        return self.current

@@ -1,0 +1,158 @@
+"""GPU hardware model: slices, operating points and the frame-time law.
+
+Frame-time model
+----------------
+A frame carries ``work_cycles`` of shader work (normalised to one slice) and
+``memory_bytes`` of memory traffic.  With ``s`` active slices at frequency
+``f`` the busy time is::
+
+    t_busy = work_cycles / (f * s^alpha)  +  memory_bytes / bandwidth
+
+``alpha < 1`` models imperfect slice scaling.  The GPU then idles (clock
+gated) until the next vsync period if it finished early.
+
+Power model
+-----------
+Active: ``P = C_eff V^2 f s + leak V s + P_uncore``;  idle: clock-gated
+dynamic power is zero and only the leakage of *powered* slices plus uncore
+power remains.  Gated slices consume nothing, which is what makes the
+slow-rate slice knob worthwhile for light workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.soc.opp import OPPTable, OperatingPoint
+
+
+@dataclass(frozen=True)
+class GPUConfiguration:
+    """One setting of the GPU control knobs."""
+
+    opp_index: int
+    active_slices: int
+
+    def __post_init__(self) -> None:
+        if self.opp_index < 0:
+            raise ValueError("opp_index must be non-negative")
+        if self.active_slices < 1:
+            raise ValueError("active_slices must be >= 1")
+
+
+@dataclass
+class GPUSpec:
+    """Static description of an integrated GPU.
+
+    Parameters
+    ----------
+    opps:
+        DVFS table shared by all slices.
+    n_slices:
+        Total number of slices that can be power gated individually.
+    slice_scaling_alpha:
+        Exponent of the slice-count speedup (1.0 = perfect scaling).
+    capacitance_eff_f:
+        Effective switching capacitance per slice.
+    leakage_w_per_v:
+        Leakage power per powered slice per volt.
+    uncore_power_w:
+        Always-on GPU uncore power while the GPU domain is active.
+    idle_power_w:
+        Residual power when the GPU is idle (clock gated between frames).
+    memory_bandwidth_gbps:
+        Memory bandwidth available to the GPU in GB/s.
+    dram_power_w_per_gbps:
+        DRAM power per GB/s of GPU traffic (used for the PKG+DRAM metric).
+    cpu_package_power_w:
+        CPU-side package power while running the game loop (driver, display);
+        charged for the whole wall-clock duration in the PKG metrics.
+    """
+
+    opps: OPPTable
+    n_slices: int = 3
+    slice_scaling_alpha: float = 0.9
+    capacitance_eff_f: float = 2.4e-9
+    leakage_w_per_v: float = 0.6
+    uncore_power_w: float = 0.35
+    idle_power_w: float = 0.2
+    memory_bandwidth_gbps: float = 12.0
+    dram_power_w_per_gbps: float = 0.30
+    cpu_package_power_w: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_slices < 1:
+            raise ValueError("n_slices must be >= 1")
+        if not 0.0 < self.slice_scaling_alpha <= 1.0:
+            raise ValueError("slice_scaling_alpha must be in (0, 1]")
+        for name in ("capacitance_eff_f", "memory_bandwidth_gbps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("leakage_w_per_v", "uncore_power_w", "idle_power_w",
+                     "dram_power_w_per_gbps", "cpu_package_power_w"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def configurations(self) -> List[GPUConfiguration]:
+        """Enumerate all (OPP, slice-count) configurations."""
+        return [
+            GPUConfiguration(opp_index=o, active_slices=s)
+            for s in range(1, self.n_slices + 1)
+            for o in range(len(self.opps))
+        ]
+
+    def operating_point(self, config: GPUConfiguration) -> OperatingPoint:
+        return self.opps[self.opps.clamp_index(config.opp_index)]
+
+    def slice_throughput_factor(self, active_slices: int) -> float:
+        """Relative shader throughput of ``active_slices`` slices."""
+        slices = max(1, min(self.n_slices, int(active_slices)))
+        return float(slices**self.slice_scaling_alpha)
+
+    def busy_time_s(self, config: GPUConfiguration, work_cycles: float,
+                    memory_bytes: float) -> float:
+        """Frame busy time under ``config`` (compute plus memory phases)."""
+        if work_cycles < 0 or memory_bytes < 0:
+            raise ValueError("work_cycles and memory_bytes must be non-negative")
+        opp = self.operating_point(config)
+        throughput = opp.frequency_hz * self.slice_throughput_factor(config.active_slices)
+        compute_time = work_cycles / throughput
+        memory_time = memory_bytes / (self.memory_bandwidth_gbps * 1e9)
+        return compute_time + memory_time
+
+    def active_power_w(self, config: GPUConfiguration, utilization: float = 1.0) -> float:
+        """GPU power while rendering at ``config``."""
+        opp = self.operating_point(config)
+        slices = max(1, min(self.n_slices, config.active_slices))
+        util = min(max(utilization, 0.0), 1.0)
+        dynamic = self.capacitance_eff_f * opp.voltage_v**2 * opp.frequency_hz * slices * util
+        leakage = self.leakage_w_per_v * opp.voltage_v * slices
+        return dynamic + leakage + self.uncore_power_w
+
+    #: Fraction of leakage still drawn by a powered (but clock-gated) slice.
+    IDLE_LEAKAGE_FRACTION = 0.5
+
+    def idle_power_w_at(self, config: GPUConfiguration) -> float:
+        """GPU power while idle (clock gated) with ``config`` slices powered."""
+        opp = self.operating_point(config)
+        slices = max(1, min(self.n_slices, config.active_slices))
+        leakage = self.IDLE_LEAKAGE_FRACTION * self.leakage_w_per_v * opp.voltage_v * slices
+        return self.idle_power_w + leakage
+
+    def max_throughput_cycles_per_s(self) -> float:
+        """Shader throughput of the maximal configuration."""
+        return self.opps.max_frequency_hz * self.slice_throughput_factor(self.n_slices)
+
+
+def default_integrated_gpu(n_opp_levels: int = 8, n_slices: int = 3) -> GPUSpec:
+    """An Intel-integrated-GPU-like spec (300-1100 MHz, individually gated slices)."""
+    opps = OPPTable.from_frequency_range(
+        min_frequency_hz=300e6,
+        max_frequency_hz=1100e6,
+        n_levels=n_opp_levels,
+        min_voltage_v=0.75,
+        max_voltage_v=1.15,
+    )
+    return GPUSpec(opps=opps, n_slices=n_slices)

@@ -1,0 +1,50 @@
+"""From-scratch machine-learning substrate used by the online-learning framework.
+
+Every model used in the paper (recursive least squares, regression trees,
+neural-network policies, support vector regression, k-NN surfaces) is
+implemented here on top of ``numpy`` only, so the resource-management layer
+has no dependency on external ML frameworks — mirroring the paper's emphasis
+on firmware-friendly, low-overhead models.
+"""
+
+from repro.ml.base import Regressor, Classifier, OnlineRegressor
+from repro.ml.scaling import StandardScaler, MinMaxScaler
+from repro.ml.metrics import (
+    mean_squared_error,
+    root_mean_squared_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    accuracy_score,
+)
+from repro.ml.linear import LinearRegressor, RidgeRegressor
+from repro.ml.rls import RecursiveLeastSquares
+from repro.ml.mlp import MLPRegressor, MLPClassifier
+from repro.ml.tree import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.forest import BaggedTreesRegressor
+from repro.ml.svr import SupportVectorRegressor
+from repro.ml.knn import KNeighborsRegressor
+
+__all__ = [
+    "Regressor",
+    "Classifier",
+    "OnlineRegressor",
+    "StandardScaler",
+    "MinMaxScaler",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "accuracy_score",
+    "LinearRegressor",
+    "RidgeRegressor",
+    "RecursiveLeastSquares",
+    "MLPRegressor",
+    "MLPClassifier",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "BaggedTreesRegressor",
+    "SupportVectorRegressor",
+    "KNeighborsRegressor",
+]

@@ -1,0 +1,78 @@
+"""Bagged regression-tree ensembles.
+
+A small bagged ensemble of CART trees is used as one of the candidate
+approximators for the explicit-NMPC control surface and as a robustness
+baseline for the offline IL policy comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Regressor, as_1d, as_2d
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import make_rng
+
+
+class BaggedTreesRegressor(Regressor):
+    """Bootstrap-aggregated CART regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if max_features is not None and not 0.0 < max_features <= 1.0:
+            raise ValueError(f"max_features must be in (0, 1], got {max_features}")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.rng = make_rng(seed)
+        self.estimators_: List[DecisionTreeRegressor] = []
+        self.feature_subsets_: List[np.ndarray] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "BaggedTreesRegressor":
+        x = as_2d(features)
+        y = as_1d(targets)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and targets must have the same length")
+        n_samples, n_features = x.shape
+        if self.max_features is None:
+            subset_size = n_features
+        else:
+            subset_size = max(1, int(round(self.max_features * n_features)))
+        self.estimators_ = []
+        self.feature_subsets_ = []
+        for _ in range(self.n_estimators):
+            sample_idx = self.rng.integers(0, n_samples, size=n_samples)
+            feature_idx = np.sort(
+                self.rng.choice(n_features, size=subset_size, replace=False)
+            )
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(x[np.ix_(sample_idx, feature_idx)], y[sample_idx])
+            self.estimators_.append(tree)
+            self.feature_subsets_.append(feature_idx)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("BaggedTreesRegressor has not been fitted yet")
+        x = as_2d(features)
+        predictions = np.zeros((len(self.estimators_), x.shape[0]))
+        for i, (tree, subset) in enumerate(zip(self.estimators_, self.feature_subsets_)):
+            predictions[i] = tree.predict(x[:, subset])
+        return predictions.mean(axis=0)

@@ -1,0 +1,75 @@
+"""Regression and classification metrics used across the experiments.
+
+The paper reports model quality as percentage error (Fig. 2: "<5% error"),
+policy quality as accuracy w.r.t. the Oracle (Fig. 3), and energy normalised
+to the Oracle (Table II, Fig. 4); the helpers below provide those metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    a = np.asarray(y_true, dtype=float).ravel()
+    b = np.asarray(y_pred, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return a, b
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    a, b = _pair(y_true, y_pred)
+    return float(np.mean((a - b) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    a, b = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(a - b)))
+
+
+def mean_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray,
+                                   epsilon: float = 1e-12) -> float:
+    """MAPE in percent.  ``epsilon`` guards against division by zero."""
+    a, b = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(a), epsilon)
+    return float(np.mean(np.abs(a - b) / denom) * 100.0)
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    a, b = _pair(y_true, y_pred)
+    ss_res = float(np.sum((a - b) ** 2))
+    ss_tot = float(np.sum((a - np.mean(a)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    a = np.asarray(y_true).ravel()
+    b = np.asarray(y_pred).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("accuracy requires at least one sample")
+    return float(np.mean(a == b))
+
+
+def normalized_energy(energy: float, oracle_energy: float) -> float:
+    """Energy normalised to the Oracle policy (Table II / Fig. 4 metric)."""
+    if oracle_energy <= 0:
+        raise ValueError(f"oracle energy must be positive, got {oracle_energy}")
+    return float(energy) / float(oracle_energy)
+
+
+def energy_savings_percent(baseline_energy: float, improved_energy: float) -> float:
+    """Percent energy savings of ``improved`` vs ``baseline`` (Fig. 5 metric)."""
+    if baseline_energy <= 0:
+        raise ValueError(f"baseline energy must be positive, got {baseline_energy}")
+    return 100.0 * (baseline_energy - improved_energy) / baseline_energy

@@ -1,0 +1,316 @@
+"""Multilayer perceptron with backpropagation (numpy only).
+
+The online-IL policy in the paper "is represented as a neural network and it
+is updated using the back-propagation algorithm" (Sec. IV-A3).  The same
+network class also backs the deep-Q baseline.  The implementation supports
+mini-batch SGD with momentum, incremental ``partial_fit`` (required for
+runtime policy updates from the aggregation buffer) and both regression
+(identity/linear output) and classification (softmax output) heads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Classifier, Regressor, as_1d, as_2d
+from repro.utils.rng import make_rng
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(float)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(x) ** 2
+
+
+_ACTIVATIONS = {
+    "relu": (relu, relu_grad),
+    "tanh": (tanh, tanh_grad),
+}
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class _MLPCore:
+    """Shared weight container and forward/backward passes."""
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str,
+        learning_rate: float,
+        momentum: float,
+        l2: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes must contain input and output sizes")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.layer_sizes = [int(s) for s in layer_sizes]
+        self.activation_name = activation
+        self.activation, self.activation_grad = _ACTIVATIONS[activation]
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.l2 = float(l2)
+        self.rng = rng
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        self._w_vel: List[np.ndarray] = []
+        self._b_vel: List[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / float(fan_in))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+            self._w_vel.append(np.zeros((fan_in, fan_out)))
+            self._b_vel.append(np.zeros(fan_out))
+
+    def forward(self, batch: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Return (pre-activations, post-activations) for each layer."""
+        pre: List[np.ndarray] = []
+        post: List[np.ndarray] = [batch]
+        current = batch
+        n_layers = len(self.weights)
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            z = current @ weight + bias
+            pre.append(z)
+            if index < n_layers - 1:
+                current = self.activation(z)
+            else:
+                current = z  # linear output head; softmax applied by classifier
+            post.append(current)
+        return pre, post
+
+    def backward(self, pre: List[np.ndarray], post: List[np.ndarray],
+                 output_grad: np.ndarray) -> None:
+        """Backpropagate ``output_grad`` (dL/d output) and apply one SGD step."""
+        batch_size = post[0].shape[0]
+        grad = output_grad
+        weight_grads: List[np.ndarray] = [np.empty(0)] * len(self.weights)
+        bias_grads: List[np.ndarray] = [np.empty(0)] * len(self.biases)
+        for layer in reversed(range(len(self.weights))):
+            weight_grads[layer] = post[layer].T @ grad / batch_size
+            bias_grads[layer] = grad.mean(axis=0)
+            if layer > 0:
+                grad = (grad @ self.weights[layer].T) * self.activation_grad(pre[layer - 1])
+        for layer in range(len(self.weights)):
+            dw = weight_grads[layer] + self.l2 * self.weights[layer]
+            db = bias_grads[layer]
+            self._w_vel[layer] = self.momentum * self._w_vel[layer] - self.learning_rate * dw
+            self._b_vel[layer] = self.momentum * self._b_vel[layer] - self.learning_rate * db
+            self.weights[layer] += self._w_vel[layer]
+            self.biases[layer] += self._b_vel[layer]
+
+    def copy_parameters_from(self, other: "_MLPCore") -> None:
+        """Copy weights/biases from another core (DQN target networks)."""
+        self.weights = [w.copy() for w in other.weights]
+        self.biases = [b.copy() for b in other.biases]
+
+    def parameter_count(self) -> int:
+        return int(sum(w.size + b.size for w, b in zip(self.weights, self.biases)))
+
+
+class MLPRegressor(Regressor):
+    """Feed-forward regression network (possibly multi-output)."""
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (32, 32),
+        activation: str = "relu",
+        learning_rate: float = 1e-2,
+        momentum: float = 0.9,
+        l2: float = 1e-5,
+        epochs: int = 200,
+        batch_size: int = 32,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.l2 = l2
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.rng = make_rng(seed)
+        self._core: Optional[_MLPCore] = None
+        self.n_outputs_: int = 1
+
+    def _build(self, n_features: int, n_outputs: int) -> None:
+        sizes = [n_features, *self.hidden_sizes, n_outputs]
+        self._core = _MLPCore(sizes, self.activation, self.learning_rate,
+                              self.momentum, self.l2, self.rng)
+        self.n_outputs_ = n_outputs
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        data = as_2d(features)
+        targ = np.asarray(targets, dtype=float)
+        if targ.ndim == 1:
+            targ = targ.reshape(-1, 1)
+        if data.shape[0] != targ.shape[0]:
+            raise ValueError("features and targets must have the same length")
+        self._build(data.shape[1], targ.shape[1])
+        for _ in range(self.epochs):
+            self._run_epoch(data, targ)
+        return self
+
+    def partial_fit(self, features: np.ndarray, targets: np.ndarray,
+                    epochs: int = 1) -> "MLPRegressor":
+        """Incrementally train on a new batch without reinitialising weights."""
+        data = as_2d(features)
+        targ = np.asarray(targets, dtype=float)
+        if targ.ndim == 1:
+            targ = targ.reshape(-1, 1)
+        if self._core is None:
+            self._build(data.shape[1], targ.shape[1])
+        for _ in range(max(1, int(epochs))):
+            self._run_epoch(data, targ)
+        return self
+
+    def _run_epoch(self, data: np.ndarray, targ: np.ndarray) -> None:
+        assert self._core is not None
+        n = data.shape[0]
+        order = self.rng.permutation(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            pre, post = self._core.forward(data[idx])
+            grad = 2.0 * (post[-1] - targ[idx])
+            self._core.backward(pre, post, grad)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._core is None:
+            raise RuntimeError("MLPRegressor has not been fitted yet")
+        data = as_2d(features)
+        _, post = self._core.forward(data)
+        out = post[-1]
+        if self.n_outputs_ == 1:
+            return out.ravel()
+        return out
+
+    def parameter_count(self) -> int:
+        """Number of trainable parameters (storage-overhead reporting)."""
+        if self._core is None:
+            return 0
+        return self._core.parameter_count()
+
+
+class MLPClassifier(Classifier):
+    """Feed-forward softmax classifier used for the IL configuration policy."""
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (32, 32),
+        activation: str = "relu",
+        learning_rate: float = 1e-2,
+        momentum: float = 0.9,
+        l2: float = 1e-5,
+        epochs: int = 200,
+        batch_size: int = 32,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.l2 = l2
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.rng = make_rng(seed)
+        self._core: Optional[_MLPCore] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def _build(self, n_features: int, n_classes: int) -> None:
+        sizes = [n_features, *self.hidden_sizes, n_classes]
+        self._core = _MLPCore(sizes, self.activation, self.learning_rate,
+                              self.momentum, self.l2, self.rng)
+
+    def _encode(self, labels: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        index = {int(c): i for i, c in enumerate(self.classes_)}
+        return np.array([index[int(label)] for label in labels], dtype=int)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        data = as_2d(features)
+        labs = np.asarray(labels).ravel().astype(int)
+        if data.shape[0] != labs.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        self.classes_ = np.unique(labs)
+        self._build(data.shape[1], len(self.classes_))
+        encoded = self._encode(labs)
+        for _ in range(self.epochs):
+            self._run_epoch(data, encoded)
+        return self
+
+    def ensure_classes(self, classes: Sequence[int], n_features: int) -> None:
+        """Pre-register the full action set before any fit/partial_fit call.
+
+        The online-IL policy must be able to output any SoC configuration even
+        if early training data only covers a subset of them.
+        """
+        self.classes_ = np.array(sorted(int(c) for c in classes))
+        if self._core is None:
+            self._build(int(n_features), len(self.classes_))
+
+    def partial_fit(self, features: np.ndarray, labels: np.ndarray,
+                    epochs: int = 1) -> "MLPClassifier":
+        """Incremental update from the online-IL aggregation buffer."""
+        data = as_2d(features)
+        labs = np.asarray(labels).ravel().astype(int)
+        if self.classes_ is None or self._core is None:
+            raise RuntimeError(
+                "call fit() or ensure_classes() before partial_fit()"
+            )
+        unknown = set(labs.tolist()) - set(int(c) for c in self.classes_)
+        if unknown:
+            raise ValueError(f"labels {sorted(unknown)} not in registered classes")
+        encoded = self._encode(labs)
+        for _ in range(max(1, int(epochs))):
+            self._run_epoch(data, encoded)
+        return self
+
+    def _run_epoch(self, data: np.ndarray, encoded: np.ndarray) -> None:
+        assert self._core is not None and self.classes_ is not None
+        n = data.shape[0]
+        n_classes = len(self.classes_)
+        order = self.rng.permutation(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            pre, post = self._core.forward(data[idx])
+            probs = softmax(post[-1])
+            onehot = np.zeros((len(idx), n_classes))
+            onehot[np.arange(len(idx)), encoded[idx]] = 1.0
+            grad = probs - onehot
+            self._core.backward(pre, post, grad)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._core is None or self.classes_ is None:
+            raise RuntimeError("MLPClassifier has not been fitted yet")
+        data = as_2d(features)
+        _, post = self._core.forward(data)
+        return softmax(post[-1])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def parameter_count(self) -> int:
+        if self._core is None:
+            return 0
+        return self._core.parameter_count()

@@ -1,0 +1,127 @@
+"""Recursive least squares (RLS) with exponential forgetting.
+
+This is the core online-learning primitive of Section III-B: power and
+performance models (e.g. the GPU frame-time model of Fig. 2) are linear in a
+small set of performance-counter features and are updated after every sample
+with an exponential forgetting factor so the model tracks workload changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import OnlineRegressor, as_2d
+
+
+class RecursiveLeastSquares(OnlineRegressor):
+    """RLS estimator ``y ≈ w.x (+ b)`` with exponential forgetting.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality of the input feature vector (excluding intercept).
+    forgetting_factor:
+        λ in (0, 1]; smaller values forget old samples faster.  The paper's
+        GPU model [12] uses an exponential forgetting factor; λ=1 recovers
+        ordinary recursive least squares.
+    delta:
+        Initial covariance scale (P = delta * I).  Larger values mean less
+        confidence in the initial weights.
+    fit_intercept:
+        If True an intercept term is appended internally.
+    initial_weights:
+        Optional initial weight vector (length ``n_features`` or
+        ``n_features + 1`` when an intercept is fitted), used when a model
+        trained offline bootstraps the online estimator.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        forgetting_factor: float = 0.98,
+        delta: float = 100.0,
+        fit_intercept: bool = True,
+        initial_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        if not 0.0 < forgetting_factor <= 1.0:
+            raise ValueError(
+                f"forgetting_factor must be in (0, 1], got {forgetting_factor}"
+            )
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.n_features = int(n_features)
+        self.forgetting_factor = float(forgetting_factor)
+        self.fit_intercept = bool(fit_intercept)
+        self._dim = self.n_features + (1 if self.fit_intercept else 0)
+        self.covariance = np.eye(self._dim) * float(delta)
+        if initial_weights is None:
+            self.weights = np.zeros(self._dim)
+        else:
+            init = np.asarray(initial_weights, dtype=float).ravel()
+            if init.shape[0] == self.n_features and self.fit_intercept:
+                init = np.append(init, 0.0)
+            if init.shape[0] != self._dim:
+                raise ValueError(
+                    f"initial_weights has length {init.shape[0]}, expected {self._dim}"
+                )
+            self.weights = init.copy()
+        self.n_updates = 0
+        self.last_error = 0.0
+        self.last_gain: Optional[np.ndarray] = None
+
+    def _augment(self, features: np.ndarray) -> np.ndarray:
+        row = np.asarray(features, dtype=float).ravel()
+        if row.shape[0] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {row.shape[0]}"
+            )
+        if self.fit_intercept:
+            row = np.append(row, 1.0)
+        return row
+
+    def predict_one(self, features: np.ndarray) -> float:
+        """Predict the target for a single feature vector."""
+        return float(self._augment(features) @ self.weights)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        data = as_2d(features)
+        return np.array([self.predict_one(row) for row in data])
+
+    def update(self, features: np.ndarray, target: float) -> float:
+        """One RLS update; returns the a-priori prediction error."""
+        x = self._augment(features)
+        lam = self.forgetting_factor
+        prediction = float(x @ self.weights)
+        error = float(target) - prediction
+        px = self.covariance @ x
+        denom = lam + float(x @ px)
+        gain = px / denom
+        self.weights = self.weights + gain * error
+        self.covariance = (self.covariance - np.outer(gain, px)) / lam
+        # Keep the covariance symmetric in the presence of round-off.
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)
+        self.n_updates += 1
+        self.last_error = error
+        self.last_gain = gain
+        return error
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Weight vector excluding the intercept term."""
+        if self.fit_intercept:
+            return self.weights[:-1].copy()
+        return self.weights.copy()
+
+    @property
+    def intercept_(self) -> float:
+        return float(self.weights[-1]) if self.fit_intercept else 0.0
+
+    def reset_covariance(self, delta: float = 100.0) -> None:
+        """Re-inflate the covariance (used after detected workload changes)."""
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.covariance = np.eye(self._dim) * float(delta)

@@ -1,0 +1,241 @@
+"""CART decision trees (regression and classification).
+
+Regression-tree based IL policies are one of the "off-the-shelf machine
+learning models" used by the offline IL works [18, 19] the paper builds on.
+The implementation is a standard greedy CART: binary splits on single
+features, variance reduction (regression) or Gini impurity (classification),
+with depth / minimum-samples stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, Regressor, as_1d, as_2d
+
+
+@dataclass
+class _Node:
+    """One node of a binary decision tree."""
+
+    prediction: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _best_split_regression(x: np.ndarray, y: np.ndarray, min_leaf: int):
+    """Return (feature, threshold, score) minimising weighted child variance."""
+    n_samples, n_features = x.shape
+    parent_score = float(np.var(y)) * n_samples
+    best = (None, 0.0, parent_score)
+    for feature in range(n_features):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y[order]
+        cumsum = np.cumsum(ys)
+        cumsum_sq = np.cumsum(ys**2)
+        total_sum = cumsum[-1]
+        total_sq = cumsum_sq[-1]
+        for i in range(min_leaf, n_samples - min_leaf + 1):
+            if i < 1 or i >= n_samples:
+                continue
+            if xs[i - 1] == xs[i]:
+                continue
+            left_n = i
+            right_n = n_samples - i
+            left_sum = cumsum[i - 1]
+            left_sq = cumsum_sq[i - 1]
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            left_sse = left_sq - left_sum**2 / left_n
+            right_sse = right_sq - right_sum**2 / right_n
+            score = left_sse + right_sse
+            if score < best[2] - 1e-12:
+                threshold = 0.5 * (xs[i - 1] + xs[i])
+                best = (feature, float(threshold), float(score))
+    return best
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p**2))
+
+
+def _best_split_classification(x: np.ndarray, y: np.ndarray, n_classes: int,
+                               min_leaf: int):
+    """Return (feature, threshold, score) minimising weighted Gini impurity."""
+    n_samples, n_features = x.shape
+    parent_counts = np.bincount(y, minlength=n_classes)
+    parent_score = _gini(parent_counts) * n_samples
+    best = (None, 0.0, parent_score)
+    for feature in range(n_features):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y[order]
+        left_counts = np.zeros(n_classes)
+        right_counts = parent_counts.astype(float).copy()
+        for i in range(1, n_samples):
+            cls = ys[i - 1]
+            left_counts[cls] += 1
+            right_counts[cls] -= 1
+            if i < min_leaf or n_samples - i < min_leaf:
+                continue
+            if xs[i - 1] == xs[i]:
+                continue
+            score = _gini(left_counts) * i + _gini(right_counts) * (n_samples - i)
+            if score < best[2] - 1e-12:
+                threshold = 0.5 * (xs[i - 1] + xs[i])
+                best = (feature, float(threshold), float(score))
+    return best
+
+
+class _BaseTree:
+    """Common tree construction machinery."""
+
+    def __init__(self, max_depth: int, min_samples_split: int,
+                 min_samples_leaf: int) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.root_: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root_
+        if node is None:
+            raise RuntimeError("tree has not been fitted yet")
+        while not node.is_leaf:
+            assert node.feature is not None
+            if row[node.feature] <= node.threshold:
+                assert node.left is not None
+                node = node.left
+            else:
+                assert node.right is not None
+                node = node.right
+        return node.prediction
+
+    def depth(self) -> int:
+        """Return the depth of the fitted tree (root-only tree has depth 1)."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 1 if node is not None else 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def node_count(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+
+class DecisionTreeRegressor(_BaseTree, Regressor):
+    """CART regression tree minimising squared error."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 min_samples_leaf: int = 2) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        x = as_2d(features)
+        y = as_1d(targets)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and targets must have the same length")
+        self.n_features_ = x.shape[1]
+        self.root_ = self._grow(x, y, depth=1)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(np.mean(y)))
+        if depth >= self.max_depth or x.shape[0] < self.min_samples_split:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        feature, threshold, _ = _best_split_regression(x, y, self.min_samples_leaf)
+        if feature is None:
+            return node
+        mask = x[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = as_2d(features)
+        return np.array([self._predict_row(row) for row in x])
+
+
+class DecisionTreeClassifier(_BaseTree, Classifier):
+    """CART classification tree minimising Gini impurity."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 min_samples_leaf: int = 2) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf)
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        x = as_2d(features)
+        y = np.asarray(labels).ravel().astype(int)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        self.classes_ = np.unique(y)
+        index = {int(c): i for i, c in enumerate(self.classes_)}
+        encoded = np.array([index[int(v)] for v in y], dtype=int)
+        self.n_features_ = x.shape[1]
+        self.root_ = self._grow(x, encoded, depth=1, n_classes=len(self.classes_))
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int, n_classes: int) -> _Node:
+        counts = np.bincount(y, minlength=n_classes)
+        node = _Node(prediction=float(np.argmax(counts)))
+        if depth >= self.max_depth or x.shape[0] < self.min_samples_split:
+            return node
+        if len(np.unique(y)) == 1:
+            return node
+        feature, threshold, _ = _best_split_classification(
+            x, y, n_classes, self.min_samples_leaf
+        )
+        if feature is None:
+            return node
+        mask = x[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, n_classes)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, n_classes)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("DecisionTreeClassifier has not been fitted yet")
+        x = as_2d(features)
+        encoded = np.array([int(self._predict_row(row)) for row in x])
+        return self.classes_[encoded]

@@ -1,0 +1,37 @@
+"""Online adaptive analytical models (paper Section III).
+
+These models characterise power, performance and temperature as functions of
+runtime system states (performance counters, sensor readings) and adapt at
+runtime through light-weight online learning (recursive least squares with
+forgetting, adaptive forgetting factors, online feature selection).
+"""
+
+from repro.models.power import CpuPowerModel, PowerModelFeatures
+from repro.models.performance import (
+    CpuPerformanceModel,
+    FrameTimeModel,
+    PerformanceModelFeatures,
+)
+from repro.models.staff import StabilizedAdaptiveForgettingRLS, OnlineFeatureSelector
+from repro.models.sensitivity import SensitivityModel, LearnedSensitivityModel
+from repro.models.thermal import ThermalRCModel, ThermalFixedPointAnalysis
+from repro.models.skin_temperature import SkinTemperatureEstimator
+from repro.models.kalman import KalmanFilter
+from repro.models.sensor_selection import greedy_sensor_selection
+
+__all__ = [
+    "CpuPowerModel",
+    "PowerModelFeatures",
+    "CpuPerformanceModel",
+    "FrameTimeModel",
+    "PerformanceModelFeatures",
+    "StabilizedAdaptiveForgettingRLS",
+    "OnlineFeatureSelector",
+    "SensitivityModel",
+    "LearnedSensitivityModel",
+    "ThermalRCModel",
+    "ThermalFixedPointAnalysis",
+    "SkinTemperatureEstimator",
+    "KalmanFilter",
+    "greedy_sensor_selection",
+]

@@ -1,0 +1,129 @@
+"""Discrete-time Kalman filter.
+
+Used by the skin-temperature observer (Sec. III-A) and by the sensor-selection
+algorithm of [28], which chooses the sensor subset minimising the steady-state
+Kalman estimation error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class KalmanFilter:
+    """Standard linear Kalman filter ``x' = A x + B u + w``, ``y = C x + v``."""
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        observation: np.ndarray,
+        process_noise: np.ndarray,
+        measurement_noise: np.ndarray,
+        control: Optional[np.ndarray] = None,
+        initial_state: Optional[np.ndarray] = None,
+        initial_covariance: Optional[np.ndarray] = None,
+    ) -> None:
+        self.transition = np.atleast_2d(np.asarray(transition, dtype=float))
+        self.observation = np.atleast_2d(np.asarray(observation, dtype=float))
+        self.process_noise = np.atleast_2d(np.asarray(process_noise, dtype=float))
+        self.measurement_noise = np.atleast_2d(
+            np.asarray(measurement_noise, dtype=float)
+        )
+        n = self.transition.shape[0]
+        m = self.observation.shape[0]
+        if self.transition.shape != (n, n):
+            raise ValueError("transition matrix must be square")
+        if self.observation.shape[1] != n:
+            raise ValueError("observation matrix has wrong number of columns")
+        if self.process_noise.shape != (n, n):
+            raise ValueError("process noise covariance must be n x n")
+        if self.measurement_noise.shape != (m, m):
+            raise ValueError("measurement noise covariance must be m x m")
+        self.control = (
+            np.atleast_2d(np.asarray(control, dtype=float)) if control is not None else None
+        )
+        if self.control is not None and self.control.shape[0] != n:
+            raise ValueError("control matrix has wrong number of rows")
+        self.state = (
+            np.asarray(initial_state, dtype=float).ravel()
+            if initial_state is not None
+            else np.zeros(n)
+        )
+        if self.state.shape[0] != n:
+            raise ValueError("initial state has wrong dimension")
+        self.covariance = (
+            np.atleast_2d(np.asarray(initial_covariance, dtype=float))
+            if initial_covariance is not None
+            else np.eye(n)
+        )
+        if self.covariance.shape != (n, n):
+            raise ValueError("initial covariance must be n x n")
+
+    @property
+    def n_states(self) -> int:
+        return self.transition.shape[0]
+
+    def predict(self, control_input: Optional[np.ndarray] = None) -> np.ndarray:
+        """Time update; returns the predicted state."""
+        self.state = self.transition @ self.state
+        if self.control is not None and control_input is not None:
+            self.state = self.state + self.control @ np.asarray(control_input,
+                                                                dtype=float).ravel()
+        self.covariance = (
+            self.transition @ self.covariance @ self.transition.T + self.process_noise
+        )
+        return self.state.copy()
+
+    def update(self, measurement: np.ndarray) -> np.ndarray:
+        """Measurement update; returns the corrected state estimate."""
+        y = np.asarray(measurement, dtype=float).ravel()
+        innovation = y - self.observation @ self.state
+        innovation_cov = (
+            self.observation @ self.covariance @ self.observation.T
+            + self.measurement_noise
+        )
+        gain = self.covariance @ self.observation.T @ np.linalg.inv(innovation_cov)
+        self.state = self.state + gain @ innovation
+        identity = np.eye(self.n_states)
+        self.covariance = (identity - gain @ self.observation) @ self.covariance
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)
+        return self.state.copy()
+
+    def step(self, measurement: np.ndarray,
+             control_input: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predict then update in one call."""
+        self.predict(control_input)
+        return self.update(measurement)
+
+
+def steady_state_covariance(
+    transition: np.ndarray,
+    observation: np.ndarray,
+    process_noise: np.ndarray,
+    measurement_noise: np.ndarray,
+    iterations: int = 500,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Iterate the Riccati recursion to (approximate) steady state.
+
+    Returns the a-posteriori error covariance, which the greedy sensor
+    selection algorithm uses as its quality metric.
+    """
+    a = np.atleast_2d(np.asarray(transition, dtype=float))
+    c = np.atleast_2d(np.asarray(observation, dtype=float))
+    q = np.atleast_2d(np.asarray(process_noise, dtype=float))
+    r = np.atleast_2d(np.asarray(measurement_noise, dtype=float))
+    n = a.shape[0]
+    p = np.eye(n)
+    for _ in range(iterations):
+        prior = a @ p @ a.T + q
+        innovation_cov = c @ prior @ c.T + r
+        gain = prior @ c.T @ np.linalg.inv(innovation_cov)
+        new_p = (np.eye(n) - gain @ c) @ prior
+        new_p = 0.5 * (new_p + new_p.T)
+        if np.max(np.abs(new_p - p)) < tolerance:
+            return new_p
+        p = new_p
+    return p

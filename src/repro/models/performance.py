@@ -1,0 +1,262 @@
+"""Online performance models (Sec. III-B).
+
+Two models are provided:
+
+* :class:`CpuPerformanceModel` — predicts snippet execution time on the
+  big.LITTLE SoC for *candidate* configurations from the counters observed at
+  the current configuration.  It follows the analytical frequency-scaling
+  form used by the cited GPU/CPU models [12, 30, 31]: the busy cycles
+  observed at the reference configuration are split into a
+  frequency-independent part and a memory-stall part that grows linearly
+  with frequency (DRAM latency is constant in wall-clock time), and the
+  per-cycle work is divided by the number of cores the workload can keep
+  busy.  The single coupling coefficient (the effective DRAM latency seen
+  per L2 miss) is learned online with recursive least squares, so the model
+  adapts to the running workload while the per-snippet counters provide the
+  instantaneous workload intensity.
+
+* :class:`FrameTimeModel` — the adaptive GPU frame-time model of Figure 2:
+  predicts the next frame's processing time from the previous frame's
+  workload proxies (busy cycles, memory traffic) and the chosen frequency,
+  updated online with (optionally adaptive-forgetting) RLS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.rls import RecursiveLeastSquares
+from repro.models.staff import StabilizedAdaptiveForgettingRLS
+from repro.soc.configuration import SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.platform import PlatformSpec
+
+
+class PerformanceModelFeatures:
+    """Feature helpers shared by the CPU time model.
+
+    The class exposes the counter decompositions (per-cluster busy cycles,
+    effective core counts) used both when updating the online latency
+    coefficient and when predicting candidate-configuration execution times.
+    """
+
+    FEATURE_NAMES = ["l2_miss_rate_times_frequency"]
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    @property
+    def n_features(self) -> int:
+        return len(self.FEATURE_NAMES)
+
+    @staticmethod
+    def effective_big_cores(counters: PerformanceCounters,
+                            reference_cores: int, candidate_cores: int) -> float:
+        """Big cores the snippet can keep busy at the candidate configuration."""
+        busy = max(counters.big_cluster_utilization * reference_cores, 1e-3)
+        # The workload cannot use more cores than it has runnable threads
+        # (busy cores at the reference), nor more than the candidate powers on.
+        return float(max(0.25, min(busy, candidate_cores)))
+
+    def big_frequency_ghz(self, config: SoCConfiguration) -> float:
+        big = self.platform.cluster("big")
+        return big.opps[config.opp_index("big")].frequency_hz / 1e9
+
+    def little_frequency_ghz(self, config: SoCConfiguration) -> float:
+        little = self.platform.cluster("little")
+        return little.opps[config.opp_index("little")].frequency_hz / 1e9
+
+    def big_busy_cycles(self, counters: PerformanceCounters,
+                        reference: SoCConfiguration) -> float:
+        """Big-cluster busy cycles observed at the reference configuration."""
+        busy_core_seconds = (
+            counters.big_cluster_utilization * reference.cores("big")
+            * counters.execution_time_s
+        )
+        return busy_core_seconds * self.big_frequency_ghz(reference) * 1e9
+
+    def little_busy_cycles(self, counters: PerformanceCounters,
+                           reference: SoCConfiguration) -> float:
+        busy_core_seconds = (
+            counters.little_cluster_utilization * reference.cores("little")
+            * counters.execution_time_s
+        )
+        return busy_core_seconds * self.little_frequency_ghz(reference) * 1e9
+
+    def build(self, counters: PerformanceCounters, config: SoCConfiguration,
+              reference_config: Optional[SoCConfiguration] = None) -> np.ndarray:
+        """RLS feature vector for the latency-coefficient model."""
+        instr = max(counters.instructions_retired, 1.0)
+        miss_rate = counters.l2_cache_misses / instr
+        return np.array([miss_rate * self.big_frequency_ghz(config)], dtype=float)
+
+
+class CpuPerformanceModel:
+    """Counter-scaling execution-time model with an online latency coefficient.
+
+    Model structure (big cluster, the critical path for the workloads here)::
+
+        cycles_big(f) = cycles_big(f_ref) + L * l2_misses * (f - f_ref)
+        time_big(f)   = cycles_big(f) / (f * effective_cores)
+
+    where ``L`` (nanoseconds of DRAM latency charged per L2 miss) is the only
+    learned quantity; it is estimated online by recursive least squares from
+    the observed big-cluster CPI versus the ``miss-rate x frequency`` feature,
+    with exponential forgetting so it can drift with the workload's locality.
+    The LITTLE-cluster time is scaled by its frequency ratio only, and the
+    total predicted time is the slower of the two cluster paths.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        forgetting_factor: float = 0.995,
+        delta: float = 10.0,
+        initial_latency_ns: float = 80.0,
+    ) -> None:
+        self.platform = platform
+        self.features = PerformanceModelFeatures(platform)
+        self.rls = RecursiveLeastSquares(
+            n_features=1,
+            forgetting_factor=forgetting_factor,
+            delta=delta,
+            fit_intercept=True,
+            initial_weights=np.array([initial_latency_ns, 0.5]),
+        )
+        self.initial_latency_ns = float(initial_latency_ns)
+
+    # ------------------------------------------------------------------ #
+    def latency_ns(self) -> float:
+        """Current estimate of the per-miss DRAM latency (clamped positive)."""
+        return float(max(self.rls.coef_[0], 0.0))
+
+    def _observed_big_cpi(self, counters: PerformanceCounters,
+                          config: SoCConfiguration) -> float:
+        cycles = self.features.big_busy_cycles(counters, config)
+        return cycles / max(counters.instructions_retired, 1.0)
+
+    def update(self, counters: PerformanceCounters,
+               config: SoCConfiguration) -> float:
+        """Consume one observation; returns the a-priori CPI prediction error."""
+        feature = self.features.build(counters, config)
+        target = self._observed_big_cpi(counters, config)
+        return self.rls.update(feature, target)
+
+    def predict_time_s(self, counters: PerformanceCounters,
+                       config: SoCConfiguration,
+                       n_instructions: Optional[float] = None,
+                       reference_config: Optional[SoCConfiguration] = None) -> float:
+        """Predict the execution time of a snippet at ``config``.
+
+        ``counters`` are the values observed at ``reference_config`` (which
+        defaults to ``config``); they are reused for the candidate following
+        the paper's approximation.
+        """
+        reference = reference_config or config
+        feats = self.features
+        latency_ns = self.latency_ns()
+
+        ref_big_freq = feats.big_frequency_ghz(reference)
+        cand_big_freq = feats.big_frequency_ghz(config)
+        big_cycles_ref = feats.big_busy_cycles(counters, reference)
+        delta_freq = cand_big_freq - ref_big_freq
+        big_cycles_cand = max(
+            big_cycles_ref + latency_ns * counters.l2_cache_misses * delta_freq,
+            0.1 * big_cycles_ref,
+        )
+        effective = feats.effective_big_cores(
+            counters, reference.cores("big"), config.cores("big")
+        )
+        big_time = big_cycles_cand / (cand_big_freq * 1e9 * effective)
+
+        little_cycles = feats.little_busy_cycles(counters, reference)
+        little_busy_cores = max(
+            counters.little_cluster_utilization * reference.cores("little"), 1e-3
+        )
+        little_cores = min(little_busy_cores, config.cores("little"))
+        little_time = little_cycles / (
+            feats.little_frequency_ghz(config) * 1e9 * max(little_cores, 0.25)
+        )
+
+        predicted = max(big_time, little_time)
+        if n_instructions is not None and counters.instructions_retired > 0:
+            predicted *= n_instructions / counters.instructions_retired
+        return float(max(predicted, 1e-9))
+
+    @property
+    def n_updates(self) -> int:
+        return self.rls.n_updates
+
+    def warm_start(self, observations) -> None:
+        """Bootstrap the latency coefficient from design-time observations."""
+        for counters, config in observations:
+            self.update(counters, config)
+
+
+class FrameTimeModel:
+    """Adaptive GPU frame-time prediction model (Figure 2).
+
+    The model predicts the processing time of the *next* frame from the
+    previous frame's observed busy cycles and memory traffic together with
+    the frequency (and slice count) chosen for the next frame::
+
+        t ≈ w1 * prev_cycles / (f * s^alpha) + w2 * prev_bytes + w0
+
+    With a scene that changes slowly relative to the frame rate this tracks
+    the measured frame time within a few percent, and the forgetting factor
+    lets it re-converge quickly after scene or frequency changes.
+    """
+
+    def __init__(
+        self,
+        forgetting_factor: float = 0.95,
+        adaptive: bool = False,
+        slice_scaling_alpha: float = 0.9,
+        delta: float = 10.0,
+    ) -> None:
+        self.slice_scaling_alpha = float(slice_scaling_alpha)
+        n_features = 2
+        if adaptive:
+            self.rls: RecursiveLeastSquares = StabilizedAdaptiveForgettingRLS(
+                n_features=n_features,
+                initial_forgetting_factor=forgetting_factor,
+                delta=delta,
+            )
+        else:
+            self.rls = RecursiveLeastSquares(
+                n_features=n_features,
+                forgetting_factor=forgetting_factor,
+                delta=delta,
+            )
+        self.adaptive = bool(adaptive)
+
+    def _features(self, prev_busy_cycles: float, prev_memory_bytes: float,
+                  frequency_hz: float, active_slices: int) -> np.ndarray:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        throughput = frequency_hz * float(active_slices) ** self.slice_scaling_alpha
+        return np.array(
+            [prev_busy_cycles / throughput, prev_memory_bytes / 1e9],
+            dtype=float,
+        )
+
+    def predict_frame_time_s(self, prev_busy_cycles: float,
+                             prev_memory_bytes: float, frequency_hz: float,
+                             active_slices: int = 1) -> float:
+        features = self._features(prev_busy_cycles, prev_memory_bytes,
+                                  frequency_hz, active_slices)
+        return max(0.0, self.rls.predict_one(features))
+
+    def update(self, prev_busy_cycles: float, prev_memory_bytes: float,
+               frequency_hz: float, active_slices: int,
+               measured_frame_time_s: float) -> float:
+        """Consume one frame observation; returns the a-priori error."""
+        features = self._features(prev_busy_cycles, prev_memory_bytes,
+                                  frequency_hz, active_slices)
+        return self.rls.update(features, float(measured_frame_time_s))
+
+    @property
+    def n_updates(self) -> int:
+        return self.rls.n_updates

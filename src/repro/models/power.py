@@ -1,0 +1,143 @@
+"""Online CPU power model.
+
+Total chip power is modelled as a linear function of physically motivated
+features built from the Table-I counters and the active configuration:
+per-cluster ``V^2 f x utilisation`` terms (dynamic power), per-cluster voltage
+terms (leakage), the external-memory request rate (DRAM power) and a constant
+(uncore).  The weights are learned online with recursive least squares so the
+model adapts to the running application, as described in Sec. III-A/III-B.
+
+The same feature map is reused by the online-IL runtime Oracle to *predict*
+the power of candidate configurations: following the paper, the counter
+values observed at the current configuration are reused while the
+configuration-dependent terms (V, f) are recomputed for each candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.rls import RecursiveLeastSquares
+from repro.soc.configuration import SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.platform import PlatformSpec
+
+
+class PowerModelFeatures:
+    """Feature map from (counters, configuration) to power-model inputs.
+
+    When predicting the power of a *candidate* configuration from counters
+    observed at a different (reference) configuration, the busy-core count is
+    estimated from the reference utilisation and capped by the candidate's
+    active cores — mirroring the paper's "reuse the observed counters"
+    approximation while staying physically sensible for core gating.
+    """
+
+    FEATURE_NAMES = [
+        "big_v2f_busy_cores",
+        "little_v2f_busy_cores",
+        "big_voltage_active_cores",
+        "little_voltage_active_cores",
+        "external_requests_per_us",
+    ]
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    @property
+    def n_features(self) -> int:
+        return len(self.FEATURE_NAMES)
+
+    @staticmethod
+    def _busy_cores(utilization: float, reference_cores: int,
+                    candidate_cores: int) -> float:
+        busy = utilization * reference_cores
+        return float(min(busy, candidate_cores))
+
+    def build(self, counters: PerformanceCounters, config: SoCConfiguration,
+              reference_config: Optional[SoCConfiguration] = None) -> np.ndarray:
+        """Feature vector for ``config`` given counters from ``reference_config``.
+
+        ``reference_config`` defaults to ``config`` (the case during model
+        updates, where the counters were measured at that configuration).
+        """
+        reference = reference_config or config
+        big = self.platform.cluster("big")
+        little = self.platform.cluster("little")
+        big_opp = big.opps[config.opp_index("big")]
+        little_opp = little.opps[config.opp_index("little")]
+        time_s = max(counters.execution_time_s, 1e-9)
+        external_rate_per_us = (
+            counters.noncache_external_memory_requests / time_s / 1e6
+        )
+        big_busy = self._busy_cores(
+            counters.big_cluster_utilization, reference.cores("big"),
+            config.cores("big"),
+        )
+        little_busy = self._busy_cores(
+            counters.little_cluster_utilization, reference.cores("little"),
+            config.cores("little"),
+        )
+        return np.array(
+            [
+                big_opp.voltage_v**2 * big_opp.frequency_hz / 1e9 * big_busy,
+                little_opp.voltage_v**2 * little_opp.frequency_hz / 1e9 * little_busy,
+                big_opp.voltage_v * config.cores("big"),
+                little_opp.voltage_v * config.cores("little"),
+                external_rate_per_us,
+            ],
+            dtype=float,
+        )
+
+
+class CpuPowerModel:
+    """Online RLS model of total chip power (watts)."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        forgetting_factor: float = 0.997,
+        delta: float = 100.0,
+        initial_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.platform = platform
+        self.features = PowerModelFeatures(platform)
+        self.rls = RecursiveLeastSquares(
+            n_features=self.features.n_features,
+            forgetting_factor=forgetting_factor,
+            delta=delta,
+            fit_intercept=True,
+            initial_weights=initial_weights,
+        )
+
+    def update(self, counters: PerformanceCounters, config: SoCConfiguration,
+               measured_power_w: Optional[float] = None) -> float:
+        """Consume one observation; returns the a-priori prediction error.
+
+        ``measured_power_w`` defaults to the power recorded in the counters
+        (Table I includes total chip power), matching the runtime data flow.
+        """
+        target = (
+            measured_power_w
+            if measured_power_w is not None
+            else counters.total_chip_power_w
+        )
+        feature_vector = self.features.build(counters, config)
+        return self.rls.update(feature_vector, float(target))
+
+    def predict(self, counters: PerformanceCounters, config: SoCConfiguration,
+                reference_config: Optional[SoCConfiguration] = None) -> float:
+        """Predicted power at ``config`` reusing counters from ``reference_config``."""
+        feature_vector = self.features.build(counters, config, reference_config)
+        return max(0.0, self.rls.predict_one(feature_vector))
+
+    @property
+    def n_updates(self) -> int:
+        return self.rls.n_updates
+
+    def warm_start(self, observations) -> None:
+        """Bootstrap from (counters, config) pairs collected at design time."""
+        for counters, config in observations:
+            self.update(counters, config)

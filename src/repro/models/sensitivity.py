@@ -1,0 +1,117 @@
+"""Sensitivity models for predictive control (Sec. II and IV-B).
+
+ENMPC "uses not only power and performance models ... but also models of the
+sensitivity of optimisation objectives (power and performance) to changes in
+control variables, such as frequency and the number of active cores".  Two
+flavours are provided:
+
+* :class:`SensitivityModel` — analytic finite-difference sensitivities on top
+  of any callable objective model (used when the underlying power/performance
+  models are available).
+* :class:`LearnedSensitivityModel` — RLS-learned sensitivities from observed
+  (Δknob, Δobjective) pairs, which is how the controller adapts to a specific
+  application even when the core control algorithm stays fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.rls import RecursiveLeastSquares
+
+ObjectiveFn = Callable[[np.ndarray], float]
+
+
+class SensitivityModel:
+    """Finite-difference sensitivities of an objective to its control knobs."""
+
+    def __init__(self, objective: ObjectiveFn, knob_names: Sequence[str],
+                 relative_step: float = 0.05) -> None:
+        if relative_step <= 0:
+            raise ValueError("relative_step must be positive")
+        self.objective = objective
+        self.knob_names = list(knob_names)
+        self.relative_step = float(relative_step)
+
+    def gradient(self, knobs: np.ndarray) -> np.ndarray:
+        """Central-difference gradient of the objective at ``knobs``."""
+        point = np.asarray(knobs, dtype=float).ravel()
+        if point.shape[0] != len(self.knob_names):
+            raise ValueError(
+                f"expected {len(self.knob_names)} knobs, got {point.shape[0]}"
+            )
+        grad = np.zeros_like(point)
+        for i in range(point.shape[0]):
+            step = max(abs(point[i]) * self.relative_step, 1e-9)
+            forward = point.copy()
+            backward = point.copy()
+            forward[i] += step
+            backward[i] -= step
+            grad[i] = (self.objective(forward) - self.objective(backward)) / (2 * step)
+        return grad
+
+    def sensitivities(self, knobs: np.ndarray) -> Dict[str, float]:
+        """Named sensitivities at ``knobs``."""
+        grad = self.gradient(knobs)
+        return dict(zip(self.knob_names, (float(g) for g in grad)))
+
+
+class LearnedSensitivityModel:
+    """Online model of objective *changes* as a function of knob changes.
+
+    The model fits ``Δy ≈ w · Δu`` with recursive least squares over observed
+    transitions, yielding per-knob sensitivities (the weights) that adapt to
+    the running application.  Because the fit is on deltas, application-level
+    offsets cancel and only the local response surface slope is learned.
+    """
+
+    def __init__(self, knob_names: Sequence[str],
+                 forgetting_factor: float = 0.95, delta: float = 10.0) -> None:
+        self.knob_names = list(knob_names)
+        if not self.knob_names:
+            raise ValueError("at least one knob is required")
+        self.rls = RecursiveLeastSquares(
+            n_features=len(self.knob_names),
+            forgetting_factor=forgetting_factor,
+            delta=delta,
+            fit_intercept=False,
+        )
+        self._last_knobs: Optional[np.ndarray] = None
+        self._last_objective: Optional[float] = None
+
+    def observe(self, knobs: Sequence[float], objective: float) -> Optional[float]:
+        """Consume one (knob vector, objective) observation.
+
+        Returns the a-priori prediction error of the delta model, or ``None``
+        for the first observation and for repeated identical knob settings
+        (no excitation — nothing to learn from).
+        """
+        knob_vector = np.asarray(knobs, dtype=float).ravel()
+        if knob_vector.shape[0] != len(self.knob_names):
+            raise ValueError(
+                f"expected {len(self.knob_names)} knobs, got {knob_vector.shape[0]}"
+            )
+        error: Optional[float] = None
+        if self._last_knobs is not None and self._last_objective is not None:
+            delta_u = knob_vector - self._last_knobs
+            delta_y = float(objective) - self._last_objective
+            if np.any(np.abs(delta_u) > 1e-12):
+                error = self.rls.update(delta_u, delta_y)
+        self._last_knobs = knob_vector
+        self._last_objective = float(objective)
+        return error
+
+    def predict_delta(self, delta_knobs: Sequence[float]) -> float:
+        """Predicted objective change for a knob change."""
+        delta_u = np.asarray(delta_knobs, dtype=float).ravel()
+        return self.rls.predict_one(delta_u)
+
+    def sensitivities(self) -> Dict[str, float]:
+        """Current per-knob sensitivities (model weights)."""
+        return dict(zip(self.knob_names, (float(w) for w in self.rls.coef_)))
+
+    @property
+    def n_updates(self) -> int:
+        return self.rls.n_updates

@@ -1,0 +1,106 @@
+"""Greedy sensor selection for Kalman filtering (Sec. III-A, ref. [28]).
+
+Given a linear dynamical system and a pool of candidate sensors (rows of the
+observation matrix), selecting the subset of ``k`` sensors that minimises the
+steady-state Kalman estimation error is NP-hard in general; [28] analyses the
+complexity and limitations of greedy algorithms for this problem.  The greedy
+procedure below adds, at each step, the sensor that most reduces the trace of
+the steady-state error covariance — the standard baseline the paper's skin
+temperature work builds on to improve internal sensor placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.kalman import steady_state_covariance
+
+
+@dataclass
+class SensorSelectionResult:
+    """Outcome of the greedy selection."""
+
+    selected: List[int]
+    error_trace: float
+    trace_history: List[float]
+
+
+def _covariance_trace_for(
+    transition: np.ndarray,
+    observation_pool: np.ndarray,
+    measurement_noise_pool: np.ndarray,
+    process_noise: np.ndarray,
+    subset: Sequence[int],
+) -> float:
+    rows = list(subset)
+    observation = observation_pool[rows, :]
+    noise = measurement_noise_pool[np.ix_(rows, rows)]
+    covariance = steady_state_covariance(
+        transition, observation, process_noise, noise
+    )
+    return float(np.trace(covariance))
+
+
+def greedy_sensor_selection(
+    transition: np.ndarray,
+    observation_pool: np.ndarray,
+    process_noise: np.ndarray,
+    measurement_noise_pool: Optional[np.ndarray] = None,
+    k: int = 2,
+) -> SensorSelectionResult:
+    """Greedily select ``k`` sensors minimising the steady-state error trace.
+
+    Parameters
+    ----------
+    transition:
+        System matrix ``A`` (n x n).
+    observation_pool:
+        Candidate observation matrix (one row per candidate sensor).
+    process_noise:
+        Process noise covariance ``Q`` (n x n).
+    measurement_noise_pool:
+        Full measurement-noise covariance over all candidate sensors; defaults
+        to identity (independent unit-variance sensors).
+    k:
+        Number of sensors to select (1 <= k <= number of candidates).
+    """
+    a = np.atleast_2d(np.asarray(transition, dtype=float))
+    pool = np.atleast_2d(np.asarray(observation_pool, dtype=float))
+    q = np.atleast_2d(np.asarray(process_noise, dtype=float))
+    n_candidates = pool.shape[0]
+    if not 1 <= k <= n_candidates:
+        raise ValueError(f"k must be in [1, {n_candidates}], got {k}")
+    if measurement_noise_pool is None:
+        noise_pool = np.eye(n_candidates)
+    else:
+        noise_pool = np.atleast_2d(np.asarray(measurement_noise_pool, dtype=float))
+        if noise_pool.shape != (n_candidates, n_candidates):
+            raise ValueError("measurement_noise_pool has wrong shape")
+
+    selected: List[int] = []
+    trace_history: List[float] = []
+    remaining = list(range(n_candidates))
+    current_trace = float("inf")
+    for _ in range(k):
+        best_candidate = None
+        best_trace = float("inf")
+        for candidate in remaining:
+            trace = _covariance_trace_for(
+                a, pool, noise_pool, q, selected + [candidate]
+            )
+            if trace < best_trace:
+                best_trace = trace
+                best_candidate = candidate
+        assert best_candidate is not None
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+        current_trace = best_trace
+        trace_history.append(best_trace)
+    return SensorSelectionResult(
+        selected=selected,
+        error_trace=current_trace,
+        trace_history=trace_history,
+    )

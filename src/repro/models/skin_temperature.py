@@ -1,0 +1,103 @@
+"""Skin-temperature estimation from internal sensors (Sec. III-A).
+
+Skin temperature cannot be measured directly in production devices, so it is
+estimated from internal thermal sensors and power readings.  The estimator
+below combines an online-learned linear regression (RLS over sensor readings)
+with an optional Kalman smoother driven by a thermal RC model — mirroring the
+machine-learning skin-temperature models of [26, 27].
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.rls import RecursiveLeastSquares
+from repro.models.kalman import KalmanFilter
+
+
+class SkinTemperatureEstimator:
+    """Online skin-temperature estimator.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of internal sensor inputs (junction temperatures, power, ...).
+    forgetting_factor:
+        RLS forgetting factor; values below one let the estimator track slow
+        changes in device thermal coupling (cases, docks, ambient changes).
+    use_smoother:
+        When True, a scalar Kalman filter smooths the regression output using
+        a first-order skin thermal model (skin temperature changes slowly).
+    smoothing_pole:
+        Pole of the first-order skin dynamics used by the smoother (0-1;
+        closer to one = slower skin response = heavier smoothing).
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        forgetting_factor: float = 0.995,
+        use_smoother: bool = True,
+        smoothing_pole: float = 0.9,
+        measurement_noise: float = 0.25,
+        process_noise: float = 0.05,
+    ) -> None:
+        if n_sensors < 1:
+            raise ValueError("n_sensors must be >= 1")
+        if not 0.0 < smoothing_pole < 1.0:
+            raise ValueError("smoothing_pole must be in (0, 1)")
+        self.n_sensors = int(n_sensors)
+        self.rls = RecursiveLeastSquares(
+            n_features=self.n_sensors,
+            forgetting_factor=forgetting_factor,
+            delta=50.0,
+            fit_intercept=True,
+        )
+        self.use_smoother = bool(use_smoother)
+        self._smoother: Optional[KalmanFilter] = None
+        self._smoothing_pole = float(smoothing_pole)
+        self._measurement_noise = float(measurement_noise)
+        self._process_noise = float(process_noise)
+
+    def _ensure_smoother(self, initial_estimate: float) -> KalmanFilter:
+        if self._smoother is None:
+            self._smoother = KalmanFilter(
+                transition=np.array([[self._smoothing_pole]]),
+                observation=np.array([[1.0]]),
+                process_noise=np.array([[self._process_noise]]),
+                measurement_noise=np.array([[self._measurement_noise]]),
+                control=np.array([[1.0 - self._smoothing_pole]]),
+                initial_state=np.array([initial_estimate]),
+            )
+        return self._smoother
+
+    def update(self, sensor_readings: Sequence[float],
+               measured_skin_temperature_c: float) -> float:
+        """Consume a labelled sample (available during characterisation).
+
+        Returns the a-priori prediction error, the quantity the paper's online
+        techniques monitor to decide how aggressively to adapt.
+        """
+        readings = np.asarray(sensor_readings, dtype=float).ravel()
+        if readings.shape[0] != self.n_sensors:
+            raise ValueError(f"expected {self.n_sensors} sensor readings")
+        return self.rls.update(readings, float(measured_skin_temperature_c))
+
+    def estimate(self, sensor_readings: Sequence[float]) -> float:
+        """Estimate the current skin temperature from internal sensors."""
+        readings = np.asarray(sensor_readings, dtype=float).ravel()
+        if readings.shape[0] != self.n_sensors:
+            raise ValueError(f"expected {self.n_sensors} sensor readings")
+        raw_estimate = self.rls.predict_one(readings)
+        if not self.use_smoother:
+            return float(raw_estimate)
+        smoother = self._ensure_smoother(raw_estimate)
+        smoother.predict(control_input=np.array([raw_estimate]))
+        smoothed = smoother.update(np.array([raw_estimate]))
+        return float(smoothed[0])
+
+    @property
+    def n_updates(self) -> int:
+        return self.rls.n_updates

@@ -1,0 +1,218 @@
+"""Thermal RC network model and power-temperature stability analysis.
+
+Implements the thermal modelling blocks of Sec. III-A:
+
+* :class:`ThermalRCModel` — a discrete-time linear thermal model
+  ``T[k+1] = A T[k] + B P[k] + c`` relating node temperatures (per cluster,
+  skin, ...) to component powers, usable both for simulation and for
+  predicting the temperature at a future instant under a hypothesised power.
+* :class:`ThermalFixedPointAnalysis` — computes the thermal fixed point (the
+  steady-state temperature reached under a constant average power), checks
+  its existence/stability conditions (spectral radius of ``A`` below one) and
+  derives the sustainable power budget before a temperature limit is violated,
+  following the power-temperature stability analysis of [24, 25].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ThermalRCModel:
+    """Discrete-time linear thermal model of an SoC.
+
+    Parameters
+    ----------
+    state_matrix:
+        ``A`` (n x n) — inter-node heat-transfer dynamics; a physically
+        meaningful model has a spectral radius strictly below one.
+    input_matrix:
+        ``B`` (n x m) — temperature rise per watt of each power source.
+    ambient_vector:
+        ``c`` (n,) — constant term pulling each node towards the ambient
+        temperature; for a model expressed in absolute Kelvin/Celsius this is
+        ``(I - A) @ T_ambient``.
+    node_names / source_names:
+        Optional labels for reporting.
+    """
+
+    def __init__(
+        self,
+        state_matrix: np.ndarray,
+        input_matrix: np.ndarray,
+        ambient_vector: np.ndarray,
+        node_names: Optional[Sequence[str]] = None,
+        source_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.state_matrix = np.atleast_2d(np.asarray(state_matrix, dtype=float))
+        self.input_matrix = np.atleast_2d(np.asarray(input_matrix, dtype=float))
+        self.ambient_vector = np.asarray(ambient_vector, dtype=float).ravel()
+        n = self.state_matrix.shape[0]
+        if self.state_matrix.shape != (n, n):
+            raise ValueError("state matrix must be square")
+        if self.input_matrix.shape[0] != n:
+            raise ValueError("input matrix row count must match state dimension")
+        if self.ambient_vector.shape[0] != n:
+            raise ValueError("ambient vector length must match state dimension")
+        self.node_names = list(node_names) if node_names else [f"node{i}" for i in range(n)]
+        self.source_names = (
+            list(source_names) if source_names
+            else [f"source{j}" for j in range(self.input_matrix.shape[1])]
+        )
+        if len(self.node_names) != n:
+            raise ValueError("node_names length mismatch")
+        if len(self.source_names) != self.input_matrix.shape[1]:
+            raise ValueError("source_names length mismatch")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.state_matrix.shape[0]
+
+    @property
+    def n_sources(self) -> int:
+        return self.input_matrix.shape[1]
+
+    def step(self, temperatures: np.ndarray, powers: np.ndarray) -> np.ndarray:
+        """One discrete time step of the thermal dynamics."""
+        t = np.asarray(temperatures, dtype=float).ravel()
+        p = np.asarray(powers, dtype=float).ravel()
+        if t.shape[0] != self.n_nodes or p.shape[0] != self.n_sources:
+            raise ValueError("temperature/power vector dimension mismatch")
+        return self.state_matrix @ t + self.input_matrix @ p + self.ambient_vector
+
+    def simulate(self, initial_temperatures: np.ndarray,
+                 power_trajectory: np.ndarray) -> np.ndarray:
+        """Simulate the model over a power trajectory (steps x sources).
+
+        Returns an array of shape (steps + 1, nodes) including the initial
+        temperature.
+        """
+        powers = np.atleast_2d(np.asarray(power_trajectory, dtype=float))
+        if powers.shape[1] != self.n_sources:
+            raise ValueError("power trajectory has wrong number of sources")
+        temperatures = np.zeros((powers.shape[0] + 1, self.n_nodes))
+        temperatures[0] = np.asarray(initial_temperatures, dtype=float).ravel()
+        for k in range(powers.shape[0]):
+            temperatures[k + 1] = self.step(temperatures[k], powers[k])
+        return temperatures
+
+    def predict_future(self, temperatures: np.ndarray, powers: np.ndarray,
+                       horizon: int) -> np.ndarray:
+        """Predict the temperature ``horizon`` steps ahead under constant power."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        state = np.asarray(temperatures, dtype=float).ravel()
+        for _ in range(horizon):
+            state = self.step(state, powers)
+        return state
+
+
+@dataclass
+class FixedPointResult:
+    """Thermal fixed point and its stability properties."""
+
+    temperatures: np.ndarray
+    spectral_radius: float
+    stable: bool
+
+    def max_temperature(self) -> float:
+        return float(np.max(self.temperatures))
+
+
+class ThermalFixedPointAnalysis:
+    """Fixed-point existence, stability and power-budget computations."""
+
+    def __init__(self, model: ThermalRCModel) -> None:
+        self.model = model
+
+    def spectral_radius(self) -> float:
+        eigenvalues = np.linalg.eigvals(self.model.state_matrix)
+        return float(np.max(np.abs(eigenvalues)))
+
+    def is_stable(self) -> bool:
+        """Necessary and sufficient stability condition: rho(A) < 1."""
+        return self.spectral_radius() < 1.0
+
+    def fixed_point(self, powers: np.ndarray) -> FixedPointResult:
+        """Steady-state temperature under constant ``powers``.
+
+        The fixed point solves ``T* = A T* + B P + c``; it exists and is
+        unique when ``I - A`` is nonsingular and is attracting when the
+        spectral radius of ``A`` is below one.
+        """
+        p = np.asarray(powers, dtype=float).ravel()
+        if p.shape[0] != self.model.n_sources:
+            raise ValueError("power vector dimension mismatch")
+        identity = np.eye(self.model.n_nodes)
+        matrix = identity - self.model.state_matrix
+        rhs = self.model.input_matrix @ p + self.model.ambient_vector
+        temperatures = np.linalg.solve(matrix, rhs)
+        radius = self.spectral_radius()
+        return FixedPointResult(
+            temperatures=temperatures,
+            spectral_radius=radius,
+            stable=radius < 1.0,
+        )
+
+    def power_budget(self, temperature_limit_c: float,
+                     power_direction: Optional[np.ndarray] = None,
+                     upper_bound_w: float = 100.0,
+                     tolerance: float = 1e-4) -> float:
+        """Maximum sustainable total power before the limit is violated.
+
+        Scales ``power_direction`` (default: uniform across sources) by a
+        scalar found with bisection such that the hottest node of the fixed
+        point equals ``temperature_limit_c``.  The returned value is the total
+        power (sum over sources) of the scaled vector — the budget DRM
+        techniques use to throttle frequency/core counts (Sec. III-A).
+        """
+        direction = (
+            np.asarray(power_direction, dtype=float).ravel()
+            if power_direction is not None
+            else np.ones(self.model.n_sources)
+        )
+        if direction.shape[0] != self.model.n_sources:
+            raise ValueError("power_direction dimension mismatch")
+        if np.all(direction <= 0):
+            raise ValueError("power_direction must have a positive component")
+        idle = self.fixed_point(np.zeros(self.model.n_sources))
+        if idle.max_temperature() > temperature_limit_c:
+            return 0.0
+        low, high = 0.0, float(upper_bound_w)
+        while high - low > tolerance:
+            mid = 0.5 * (low + high)
+            result = self.fixed_point(direction / direction.sum() * mid)
+            if result.max_temperature() <= temperature_limit_c:
+                low = mid
+            else:
+                high = mid
+        return low
+
+
+def two_node_mobile_thermal_model(
+    ambient_c: float = 25.0,
+    coupling: float = 0.02,
+    cpu_self: float = 0.85,
+    skin_self: float = 0.95,
+    cpu_rise_per_w: float = 1.2,
+    skin_rise_per_w: float = 0.10,
+) -> ThermalRCModel:
+    """A small two-node (junction + skin) mobile thermal model.
+
+    The defaults give a stable model where the junction responds quickly to
+    CPU power and the skin integrates slowly — the behaviour that makes skin
+    temperature hard to control reactively and motivates predictive models.
+    """
+    state = np.array([[cpu_self, coupling], [coupling, skin_self]])
+    inputs = np.array([[cpu_rise_per_w], [skin_rise_per_w]])
+    ambient = (np.eye(2) - state) @ np.array([ambient_c, ambient_c])
+    return ThermalRCModel(
+        state_matrix=state,
+        input_matrix=inputs,
+        ambient_vector=ambient,
+        node_names=["junction", "skin"],
+        source_names=["cpu_power"],
+    )

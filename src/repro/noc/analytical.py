@@ -1,0 +1,98 @@
+"""Queuing-theory analytical NoC latency model (Sec. III-C).
+
+"State-of-the-art techniques view the NoC as a network of queues and
+construct performance models using queuing theory."  Each directed link is
+modelled as an M/M/1 server whose utilisation is the aggregate packet rate
+routed over it times the packet service time; the end-to-end latency of a
+flow is the sum over its route of the per-hop pipeline latency plus the
+queueing delay of each traversed link, averaged over all flows weighted by
+their rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.noc.router import RouterConfig
+from repro.noc.topology import Link, MeshTopology
+
+
+@dataclass
+class AnalyticalEstimate:
+    """Output of the analytical model for one traffic configuration."""
+
+    average_latency_cycles: float
+    average_waiting_cycles: float
+    average_source_queue_cycles: float
+    max_link_utilization: float
+    saturated: bool
+
+
+class AnalyticalNoCModel:
+    """M/M/1-approximation latency model over XY routes."""
+
+    def __init__(self, topology: MeshTopology,
+                 router: RouterConfig = RouterConfig()) -> None:
+        self.topology = topology
+        self.router = router
+
+    def link_utilizations(self, rate_matrix: Dict[Tuple[int, int], float],
+                          size_flits: int) -> Dict[Link, float]:
+        """Per-link utilisation (fraction of cycles the link is busy)."""
+        service = self.router.service_cycles(size_flits)
+        usage = self.topology.link_usage(rate_matrix)
+        return {link: rate * service for link, rate in usage.items()}
+
+    @staticmethod
+    def _mm1_waiting(utilization: float, service: float) -> float:
+        """Mean waiting time of an M/M/1 queue with the given utilisation."""
+        if utilization >= 1.0:
+            return float("inf")
+        return utilization * service / (1.0 - utilization)
+
+    def estimate(self, rate_matrix: Dict[Tuple[int, int], float],
+                 size_flits: int = 4) -> AnalyticalEstimate:
+        """Average end-to-end latency over all flows in ``rate_matrix``."""
+        service = float(self.router.service_cycles(size_flits))
+        utilizations = self.link_utilizations(rate_matrix, size_flits)
+        max_utilization = max(utilizations.values()) if utilizations else 0.0
+        saturated = max_utilization >= 1.0
+
+        # Source (injection) queue utilisation per node: total injected rate.
+        source_rates: Dict[int, float] = {}
+        for (source, _), rate in rate_matrix.items():
+            source_rates[source] = source_rates.get(source, 0.0) + rate
+
+        total_rate = 0.0
+        weighted_latency = 0.0
+        weighted_waiting = 0.0
+        weighted_source_wait = 0.0
+        for (source, destination), rate in rate_matrix.items():
+            if rate <= 0:
+                continue
+            links = self.topology.route_links(source, destination)
+            hops = len(links)
+            base = hops * self.router.per_hop_latency(size_flits)
+            waiting = sum(
+                self._mm1_waiting(utilizations.get(link, 0.0), service)
+                for link in links
+            )
+            source_utilization = source_rates.get(source, 0.0) * service
+            source_wait = self._mm1_waiting(min(source_utilization, 0.999999), service)
+            latency = base + waiting + source_wait
+            total_rate += rate
+            weighted_latency += rate * latency
+            weighted_waiting += rate * waiting
+            weighted_source_wait += rate * source_wait
+
+        if total_rate <= 0:
+            return AnalyticalEstimate(float("nan"), float("nan"), float("nan"),
+                                      max_utilization, saturated)
+        return AnalyticalEstimate(
+            average_latency_cycles=weighted_latency / total_rate,
+            average_waiting_cycles=weighted_waiting / total_rate,
+            average_source_queue_cycles=weighted_source_wait / total_rate,
+            max_link_utilization=max_utilization,
+            saturated=saturated,
+        )

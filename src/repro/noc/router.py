@@ -1,0 +1,47 @@
+"""Router parameters for the packet-switched NoC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Timing parameters of each router / link stage.
+
+    Parameters
+    ----------
+    router_delay_cycles:
+        Pipeline latency added per router traversal (route computation,
+        arbitration, crossbar).
+    link_delay_cycles:
+        Wire latency per hop.
+    flits_per_cycle:
+        Link bandwidth; 1 means one flit transferred per cycle, so a packet of
+        ``n`` flits occupies the link for ``n`` cycles (packet-level
+        store-and-forward service model).
+    """
+
+    router_delay_cycles: int = 2
+    link_delay_cycles: int = 1
+    flits_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.router_delay_cycles < 0:
+            raise ValueError("router_delay_cycles must be non-negative")
+        if self.link_delay_cycles < 0:
+            raise ValueError("link_delay_cycles must be non-negative")
+        if self.flits_per_cycle < 1:
+            raise ValueError("flits_per_cycle must be >= 1")
+
+    def service_cycles(self, size_flits: int) -> int:
+        """Cycles a packet of ``size_flits`` occupies one link."""
+        if size_flits < 1:
+            raise ValueError("size_flits must be >= 1")
+        transfer = -(-size_flits // self.flits_per_cycle)  # ceil division
+        return transfer
+
+    def per_hop_latency(self, size_flits: int) -> int:
+        """Unloaded latency contribution of one hop."""
+        return (self.router_delay_cycles + self.link_delay_cycles
+                + self.service_cycles(size_flits))

@@ -1,0 +1,88 @@
+"""CPU cluster specification (big or LITTLE).
+
+A cluster groups homogeneous cores that share a DVFS domain.  The spec holds
+the micro-architectural parameters needed by the snippet-level performance and
+power models: peak IPC, effective switching capacitance, leakage coefficient,
+and per-cluster memory-latency sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.opp import OPPTable
+
+
+@dataclass
+class ClusterSpec:
+    """Static description of one CPU cluster.
+
+    Parameters
+    ----------
+    name:
+        Human readable name, e.g. ``"big"`` or ``"little"``.
+    n_cores:
+        Number of cores in the cluster.
+    opps:
+        DVFS operating-point table shared by all cores in the cluster.
+    ipc_peak:
+        Peak (non-stalled) instructions per cycle of a single core.
+    capacitance_eff_f:
+        Effective switching capacitance per core in farads; dynamic power is
+        ``C_eff * V^2 * f * utilisation`` per active core.
+    leakage_w_per_v:
+        Leakage (static) power per powered core per volt.
+    base_cpi:
+        Baseline cycles per instruction at full pipeline efficiency (1/ipc_peak
+        adjusted for front-end overheads).
+    branch_penalty_cycles:
+        Pipeline refill penalty charged per branch misprediction.
+    l2_miss_penalty_ns:
+        Average DRAM access latency charged per L2 miss in nanoseconds
+        (converted to cycles at the current frequency, which is what produces
+        the memory-boundedness "diminishing returns" with frequency).
+    """
+
+    name: str
+    n_cores: int
+    opps: OPPTable
+    ipc_peak: float = 2.0
+    capacitance_eff_f: float = 1.0e-9
+    leakage_w_per_v: float = 0.15
+    base_cpi: float = field(default=0.0)
+    branch_penalty_cycles: float = 14.0
+    l2_miss_penalty_ns: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"cluster needs at least one core, got {self.n_cores}")
+        if self.ipc_peak <= 0:
+            raise ValueError(f"ipc_peak must be positive, got {self.ipc_peak}")
+        if self.capacitance_eff_f <= 0:
+            raise ValueError("capacitance_eff_f must be positive")
+        if self.leakage_w_per_v < 0:
+            raise ValueError("leakage_w_per_v must be non-negative")
+        if self.base_cpi <= 0:
+            self.base_cpi = 1.0 / self.ipc_peak
+
+    @property
+    def n_opp_levels(self) -> int:
+        return len(self.opps)
+
+    def dynamic_power_w(self, opp_index: int, active_cores: int,
+                        utilization: float) -> float:
+        """Dynamic power for ``active_cores`` cores at ``opp_index``."""
+        if not 0 <= opp_index < len(self.opps):
+            raise IndexError(f"opp_index {opp_index} out of range")
+        active = max(0, min(self.n_cores, int(active_cores)))
+        util = float(min(max(utilization, 0.0), 1.0))
+        opp = self.opps[opp_index]
+        return self.capacitance_eff_f * opp.voltage_v**2 * opp.frequency_hz * active * util
+
+    def static_power_w(self, opp_index: int, powered_cores: int) -> float:
+        """Leakage power for ``powered_cores`` powered-on cores."""
+        if not 0 <= opp_index < len(self.opps):
+            raise IndexError(f"opp_index {opp_index} out of range")
+        powered = max(0, min(self.n_cores, int(powered_cores)))
+        opp = self.opps[opp_index]
+        return self.leakage_w_per_v * opp.voltage_v * powered

@@ -1,0 +1,202 @@
+"""SoC configurations and the discrete configuration space.
+
+A configuration is the tuple of control-knob settings the DRM policy can
+choose at each decision epoch: the OPP index of each DVFS domain and the
+number of active cores per cluster.  The :class:`ConfigurationSpace`
+enumerates all valid configurations of a platform (the Oracle sweeps them
+exhaustively) and provides neighbourhood queries used by the online-IL
+runtime Oracle and the RL action space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.soc.platform import PlatformSpec
+
+
+@dataclass(frozen=True)
+class SoCConfiguration:
+    """One point in the SoC control space.
+
+    ``opp_indices`` maps cluster name to the OPP (frequency) index and
+    ``active_cores`` maps cluster name to the number of powered-on cores.
+    Instances are immutable and hashable so they can be used as dict keys in
+    Oracle tables and Q-tables.
+    """
+
+    opp_indices: Tuple[Tuple[str, int], ...]
+    active_cores: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def from_dicts(cls, opp_indices: Dict[str, int],
+                   active_cores: Dict[str, int]) -> "SoCConfiguration":
+        return cls(
+            opp_indices=tuple(sorted(opp_indices.items())),
+            active_cores=tuple(sorted(active_cores.items())),
+        )
+
+    def opp_index(self, cluster: str) -> int:
+        for name, idx in self.opp_indices:
+            if name == cluster:
+                return idx
+        raise KeyError(f"no OPP index recorded for cluster {cluster!r}")
+
+    def cores(self, cluster: str) -> int:
+        for name, count in self.active_cores:
+            if name == cluster:
+                return count
+        raise KeyError(f"no core count recorded for cluster {cluster!r}")
+
+    def as_dicts(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        return dict(self.opp_indices), dict(self.active_cores)
+
+    def as_vector(self, cluster_order: Sequence[str]) -> np.ndarray:
+        """Numeric encoding (OPP index then core count per cluster)."""
+        values: List[float] = []
+        for cluster in cluster_order:
+            values.append(float(self.opp_index(cluster)))
+        for cluster in cluster_order:
+            values.append(float(self.cores(cluster)))
+        return np.array(values, dtype=float)
+
+    def describe(self, platform: Optional[PlatformSpec] = None) -> str:
+        parts = []
+        for name, idx in self.opp_indices:
+            if platform is not None and name in platform.clusters:
+                freq = platform.clusters[name].opps[idx].frequency_mhz
+                parts.append(f"{name}:{freq:.0f}MHz")
+            else:
+                parts.append(f"{name}:opp{idx}")
+        for name, count in self.active_cores:
+            parts.append(f"{name}x{count}")
+        return " ".join(parts)
+
+
+class ConfigurationSpace:
+    """Enumerable set of valid configurations of a platform."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        allow_core_gating: bool = False,
+        min_active_cores: int = 1,
+        gated_clusters: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.platform = platform
+        self.allow_core_gating = bool(allow_core_gating)
+        self.min_active_cores = max(1, int(min_active_cores))
+        if gated_clusters is None:
+            self.gated_clusters = set(platform.clusters) if self.allow_core_gating else set()
+        else:
+            unknown = set(gated_clusters) - set(platform.clusters)
+            if unknown:
+                raise KeyError(f"unknown clusters in gated_clusters: {sorted(unknown)}")
+            self.gated_clusters = set(gated_clusters) if self.allow_core_gating else set()
+        self.cluster_order: List[str] = sorted(platform.clusters.keys())
+        self._configs: List[SoCConfiguration] = self._enumerate()
+        self._index: Dict[SoCConfiguration, int] = {
+            cfg: i for i, cfg in enumerate(self._configs)
+        }
+
+    def _enumerate(self) -> List[SoCConfiguration]:
+        opp_ranges = []
+        core_ranges = []
+        for name in self.cluster_order:
+            spec = self.platform.clusters[name]
+            opp_ranges.append(range(len(spec.opps)))
+            if name in self.gated_clusters:
+                core_ranges.append(range(self.min_active_cores, spec.n_cores + 1))
+            else:
+                core_ranges.append([spec.n_cores])
+        configs: List[SoCConfiguration] = []
+        for opp_combo in product(*opp_ranges):
+            for core_combo in product(*core_ranges):
+                opp_map = dict(zip(self.cluster_order, opp_combo))
+                core_map = dict(zip(self.cluster_order, core_combo))
+                configs.append(SoCConfiguration.from_dicts(opp_map, core_map))
+        return configs
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[SoCConfiguration]:
+        return iter(self._configs)
+
+    def __getitem__(self, index: int) -> SoCConfiguration:
+        return self._configs[index]
+
+    def index_of(self, config: SoCConfiguration) -> int:
+        if config not in self._index:
+            raise KeyError(f"configuration not in space: {config}")
+        return self._index[config]
+
+    def contains(self, config: SoCConfiguration) -> bool:
+        return config in self._index
+
+    @property
+    def configurations(self) -> List[SoCConfiguration]:
+        return list(self._configs)
+
+    def default_configuration(self) -> SoCConfiguration:
+        """Mid-frequency, all-cores-on configuration used as the initial state."""
+        opp_map = {}
+        core_map = {}
+        for name in self.cluster_order:
+            spec = self.platform.clusters[name]
+            opp_map[name] = len(spec.opps) // 2
+            core_map[name] = spec.n_cores
+        return SoCConfiguration.from_dicts(opp_map, core_map)
+
+    def neighbors(self, config: SoCConfiguration, radius: int = 1,
+                  include_self: bool = True) -> List[SoCConfiguration]:
+        """Configurations within ``radius`` OPP steps per cluster.
+
+        The online-IL runtime Oracle evaluates candidate configurations "in a
+        local neighbourhood of the current configuration" (Sec. IV-A3); this
+        method defines that neighbourhood.  Core counts are held fixed unless
+        core gating is enabled, in which case +/- radius cores are included.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        opp_map, core_map = config.as_dicts()
+        opp_options: List[List[int]] = []
+        core_options: List[List[int]] = []
+        for name in self.cluster_order:
+            spec = self.platform.clusters[name]
+            current_opp = opp_map[name]
+            options = sorted(
+                {spec.opps.clamp_index(current_opp + delta)
+                 for delta in range(-radius, radius + 1)}
+            )
+            opp_options.append(options)
+            current_cores = core_map[name]
+            if name in self.gated_clusters:
+                low = max(self.min_active_cores, current_cores - radius)
+                high = min(spec.n_cores, current_cores + radius)
+                core_options.append(list(range(low, high + 1)))
+            else:
+                core_options.append([current_cores])
+        result: List[SoCConfiguration] = []
+        for opp_combo in product(*opp_options):
+            for core_combo in product(*core_options):
+                candidate = SoCConfiguration.from_dicts(
+                    dict(zip(self.cluster_order, opp_combo)),
+                    dict(zip(self.cluster_order, core_combo)),
+                )
+                if not include_self and candidate == config:
+                    continue
+                if candidate in self._index:
+                    result.append(candidate)
+        return result
+
+    def random_configuration(self, rng: np.random.Generator) -> SoCConfiguration:
+        return self._configs[int(rng.integers(0, len(self._configs)))]
+
+    def config_feature_matrix(self) -> np.ndarray:
+        """Numeric encoding of every configuration (for surface models)."""
+        return np.vstack([cfg.as_vector(self.cluster_order) for cfg in self._configs])

@@ -1,0 +1,112 @@
+"""Performance-counter vector collected per snippet (paper Table I).
+
+The paper's Table I lists the data collected in each snippet:
+
+* Instructions retired
+* CPU cycles
+* Branch mispredictions per core
+* Level-2 cache misses
+* Data memory accesses
+* Non-cache external memory requests
+* Total little-cluster utilisation
+* Per-core big-cluster utilisation
+* Total chip power consumption
+
+The DRM policies consume these values (optionally normalised per instruction)
+as their state features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List
+
+import numpy as np
+
+COUNTER_NAMES: List[str] = [
+    "instructions_retired",
+    "cpu_cycles",
+    "branch_mispredictions",
+    "l2_cache_misses",
+    "data_memory_accesses",
+    "noncache_external_memory_requests",
+    "little_cluster_utilization",
+    "big_cluster_utilization",
+    "total_chip_power_w",
+]
+
+#: Derived per-instruction feature names used by the policies and models.
+FEATURE_NAMES: List[str] = [
+    "cycles_per_instruction",
+    "branch_misses_per_kilo_instruction",
+    "l2_misses_per_kilo_instruction",
+    "memory_accesses_per_kilo_instruction",
+    "external_requests_per_kilo_instruction",
+    "little_cluster_utilization",
+    "big_cluster_utilization",
+    "instruction_rate_giga_per_s",
+]
+
+
+@dataclass
+class PerformanceCounters:
+    """Values of the Table-I counters for one executed snippet."""
+
+    instructions_retired: float
+    cpu_cycles: float
+    branch_mispredictions: float
+    l2_cache_misses: float
+    data_memory_accesses: float
+    noncache_external_memory_requests: float
+    little_cluster_utilization: float
+    big_cluster_utilization: float
+    total_chip_power_w: float
+    execution_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instructions_retired <= 0:
+            raise ValueError("instructions_retired must be positive")
+        if self.cpu_cycles < 0:
+            raise ValueError("cpu_cycles must be non-negative")
+        for name in ("little_cluster_utilization", "big_cluster_utilization"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    def as_vector(self) -> np.ndarray:
+        """Raw counter vector in the canonical ``COUNTER_NAMES`` order."""
+        return np.array([getattr(self, name) for name in COUNTER_NAMES], dtype=float)
+
+    def feature_vector(self) -> np.ndarray:
+        """Normalised per-instruction features used as policy/model inputs.
+
+        Raw counters scale with snippet length, so policies use rates: CPI,
+        misses per kilo-instruction, utilisations, and the instruction rate.
+        """
+        instr = max(self.instructions_retired, 1.0)
+        kilo = instr / 1e3
+        time_s = max(self.execution_time_s, 1e-9)
+        return np.array(
+            [
+                self.cpu_cycles / instr,
+                self.branch_mispredictions / kilo,
+                self.l2_cache_misses / kilo,
+                self.data_memory_accesses / kilo,
+                self.noncache_external_memory_requests / kilo,
+                self.little_cluster_utilization,
+                self.big_cluster_utilization,
+                instr / time_s / 1e9,
+            ],
+            dtype=float,
+        )
+
+    @staticmethod
+    def feature_names() -> List[str]:
+        return list(FEATURE_NAMES)
+
+    @staticmethod
+    def n_features() -> int:
+        return len(FEATURE_NAMES)

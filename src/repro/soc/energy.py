@@ -1,0 +1,71 @@
+"""Energy accounting across a sequence of snippet executions.
+
+The experiments compare total energy over whole applications (Table II,
+Fig. 4) and over application sequences (Fig. 3), so the account keeps a
+per-application and per-component breakdown alongside the running totals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.soc.simulator import SnippetResult
+
+
+class EnergyAccount:
+    """Accumulates energy, time and power statistics over snippet results."""
+
+    def __init__(self) -> None:
+        self.total_energy_j: float = 0.0
+        self.total_time_s: float = 0.0
+        self._per_application_energy: Dict[str, float] = defaultdict(float)
+        self._per_application_time: Dict[str, float] = defaultdict(float)
+        self._per_component_energy: Dict[str, float] = defaultdict(float)
+        self._results: List[SnippetResult] = []
+
+    def add(self, result: SnippetResult) -> None:
+        self.total_energy_j += result.energy_j
+        self.total_time_s += result.execution_time_s
+        app = result.snippet.application
+        self._per_application_energy[app] += result.energy_j
+        self._per_application_time[app] += result.execution_time_s
+        for component, power in result.power_breakdown_w.items():
+            self._per_component_energy[component] += power * result.execution_time_s
+        self._results.append(result)
+
+    def extend(self, results) -> None:
+        for result in results:
+            self.add(result)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def results(self) -> List[SnippetResult]:
+        return list(self._results)
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    def application_energy_j(self, application: str) -> float:
+        return self._per_application_energy.get(application, 0.0)
+
+    def application_time_s(self, application: str) -> float:
+        return self._per_application_time.get(application, 0.0)
+
+    def per_application_energy(self) -> Dict[str, float]:
+        return dict(self._per_application_energy)
+
+    def per_component_energy(self) -> Dict[str, float]:
+        return dict(self._per_component_energy)
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        instructions = sum(r.snippet.n_instructions for r in self._results)
+        if instructions <= 0:
+            return 0.0
+        return self.total_energy_j / instructions * 1e9

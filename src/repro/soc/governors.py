@@ -1,0 +1,127 @@
+"""Classic Linux-style frequency governors.
+
+The paper's introduction points out that "interactive and ondemand governors
+increase (or decrease) operating frequency of cores when the utilisation of
+the cores goes above (or below) a predefined threshold" and that these
+heuristics leave considerable room for improvement.  They serve as reference
+controllers in the examples and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+
+
+class Governor(abc.ABC):
+    """Interface for utilisation-driven per-cluster frequency governors."""
+
+    def __init__(self, space: ConfigurationSpace) -> None:
+        self.space = space
+        self.current = space.default_configuration()
+
+    def reset(self, configuration: Optional[SoCConfiguration] = None) -> None:
+        self.current = configuration or self.space.default_configuration()
+
+    @abc.abstractmethod
+    def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
+        """Return the configuration to use for the next snippet."""
+
+    def _cluster_utilization(self, counters: PerformanceCounters, cluster: str) -> float:
+        if cluster == "big":
+            return counters.big_cluster_utilization
+        if cluster == "little":
+            return counters.little_cluster_utilization
+        raise KeyError(f"unknown cluster {cluster!r}")
+
+    def _with_opp_indices(self, opp_indices: Dict[str, int]) -> SoCConfiguration:
+        _, cores = self.current.as_dicts()
+        clamped = {}
+        for name, index in opp_indices.items():
+            spec = self.space.platform.cluster(name)
+            clamped[name] = spec.opps.clamp_index(index)
+        config = SoCConfiguration.from_dicts(clamped, cores)
+        if not self.space.contains(config):
+            # Fall back to the nearest valid configuration (core counts fixed).
+            config = self.space.default_configuration()
+        return config
+
+
+class OndemandGovernor(Governor):
+    """Jump to maximum frequency above ``up_threshold``, step down when idle."""
+
+    def __init__(self, space: ConfigurationSpace, up_threshold: float = 0.8,
+                 down_threshold: float = 0.3) -> None:
+        super().__init__(space)
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("require 0 < down_threshold < up_threshold <= 1")
+        self.up_threshold = float(up_threshold)
+        self.down_threshold = float(down_threshold)
+
+    def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
+        opp_indices, _ = self.current.as_dicts()
+        new_indices = {}
+        for name, index in opp_indices.items():
+            spec = self.space.platform.cluster(name)
+            utilization = self._cluster_utilization(counters, name)
+            if utilization >= self.up_threshold:
+                new_indices[name] = len(spec.opps) - 1
+            elif utilization <= self.down_threshold:
+                new_indices[name] = index - 1
+            else:
+                new_indices[name] = index
+        self.current = self._with_opp_indices(new_indices)
+        return self.current
+
+
+class InteractiveGovernor(Governor):
+    """Ramp frequency proportionally to utilisation with a fast-up bias."""
+
+    def __init__(self, space: ConfigurationSpace, target_utilization: float = 0.7) -> None:
+        super().__init__(space)
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        self.target_utilization = float(target_utilization)
+
+    def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
+        opp_indices, _ = self.current.as_dicts()
+        new_indices = {}
+        for name, index in opp_indices.items():
+            spec = self.space.platform.cluster(name)
+            utilization = self._cluster_utilization(counters, name)
+            # Scale the current frequency so that utilisation would hit target.
+            current_freq = spec.opps[index].frequency_hz
+            desired_freq = current_freq * utilization / self.target_utilization
+            desired_index = spec.opps.index_of_frequency(desired_freq)
+            if desired_index > index:
+                new_indices[name] = min(index + 2, desired_index)
+            else:
+                new_indices[name] = max(index - 1, desired_index)
+        self.current = self._with_opp_indices(new_indices)
+        return self.current
+
+
+class PerformanceGovernor(Governor):
+    """Always run every cluster at its maximum frequency."""
+
+    def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
+        opp_indices, _ = self.current.as_dicts()
+        new_indices = {
+            name: len(self.space.platform.cluster(name).opps) - 1
+            for name in opp_indices
+        }
+        self.current = self._with_opp_indices(new_indices)
+        return self.current
+
+
+class PowersaveGovernor(Governor):
+    """Always run every cluster at its minimum frequency."""
+
+    def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
+        opp_indices, _ = self.current.as_dicts()
+        new_indices = {name: 0 for name in opp_indices}
+        self.current = self._with_opp_indices(new_indices)
+        return self.current

@@ -1,0 +1,244 @@
+"""Snippet-level heterogeneous SoC simulator.
+
+The simulator plays the role of the Odroid-XU3 board in the paper: given a
+workload snippet and an SoC configuration it produces execution time, power,
+energy and the Table-I performance counters.
+
+Performance model (per cluster)
+-------------------------------
+Cycles per instruction grow with frequency for memory-bound code because the
+DRAM latency is fixed in wall-clock time::
+
+    CPI(f) = base_cpi / ilp  +  branch_mpki/1000 * branch_penalty
+             +  l2_mpki/1000 * miss_penalty_ns * f[GHz]
+
+The snippet's instructions are split between the big and LITTLE clusters by
+its ``big_fraction``; each cluster executes its share with an Amdahl speedup
+limited by the number of active cores and the snippet's thread count, and the
+two clusters overlap in time.
+
+Power model
+-----------
+Per cluster: ``P_dyn = C_eff V^2 f * n_active * utilisation`` and
+``P_leak = k_leak * V * n_powered``; plus DRAM power proportional to the
+external-request bandwidth and a constant base (uncore) power.
+
+These analytic forms are the same ones the paper's online models try to learn
+from counters, which makes the learning problem realistic but solvable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.soc.configuration import SoCConfiguration
+from repro.soc.counters import PerformanceCounters
+from repro.soc.platform import PlatformSpec
+from repro.soc.snippet import Snippet
+from repro.utils.rng import make_rng
+
+#: Bytes transferred per non-cache external memory request (cache line).
+BYTES_PER_EXTERNAL_REQUEST = 64.0
+
+#: Background (OS) utilisation floor on the LITTLE cluster.
+LITTLE_BACKGROUND_UTILIZATION = 0.03
+
+
+@dataclass
+class SnippetResult:
+    """Outcome of executing one snippet at one configuration."""
+
+    snippet: Snippet
+    configuration: SoCConfiguration
+    execution_time_s: float
+    energy_j: float
+    average_power_w: float
+    counters: PerformanceCounters
+    power_breakdown_w: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        return self.energy_j / self.snippet.n_instructions * 1e9
+
+    @property
+    def performance_ips(self) -> float:
+        """Instructions per second achieved by this execution."""
+        return self.snippet.n_instructions / self.execution_time_s
+
+    @property
+    def performance_per_watt(self) -> float:
+        return self.performance_ips / max(self.average_power_w, 1e-9)
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy_j * self.execution_time_s
+
+
+class SoCSimulator:
+    """Counter-driven simulator of a heterogeneous big.LITTLE SoC."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        noise_scale: float = 0.01,
+        seed: Optional[int] = None,
+    ) -> None:
+        if noise_scale < 0:
+            raise ValueError(f"noise_scale must be non-negative, got {noise_scale}")
+        self.platform = platform
+        self.noise_scale = float(noise_scale)
+        self.rng = make_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Cluster-level helpers
+    # ------------------------------------------------------------------ #
+    def _cluster_cpi(self, cluster_name: str, snippet: Snippet, opp_index: int) -> float:
+        spec = self.platform.cluster(cluster_name)
+        opp = spec.opps[opp_index]
+        chars = snippet.characteristics
+        frequency_ghz = opp.frequency_hz / 1e9
+        cpi = spec.base_cpi / chars.ilp_factor
+        cpi += chars.branch_misprediction_mpki / 1000.0 * spec.branch_penalty_cycles
+        cpi += chars.memory_intensity / 1000.0 * spec.l2_miss_penalty_ns * frequency_ghz
+        return cpi
+
+    def _cluster_time_and_work(
+        self, cluster_name: str, snippet: Snippet, config: SoCConfiguration
+    ) -> Dict[str, float]:
+        """Return elapsed time, busy core-seconds and cycles for one cluster."""
+        spec = self.platform.cluster(cluster_name)
+        chars = snippet.characteristics
+        opp_index = config.opp_index(cluster_name)
+        active_cores = config.cores(cluster_name)
+        opp = spec.opps[opp_index]
+        if cluster_name == "big":
+            instructions = snippet.n_instructions * chars.big_fraction
+        else:
+            instructions = snippet.n_instructions * (1.0 - chars.big_fraction)
+        if instructions <= 0.0:
+            return {
+                "elapsed_s": 0.0,
+                "busy_core_s": 0.0,
+                "cycles": 0.0,
+                "instructions": 0.0,
+            }
+        cpi = self._cluster_cpi(cluster_name, snippet, opp_index)
+        cycles = instructions * cpi
+        serial_time = cycles / opp.frequency_hz
+        usable_cores = max(1, min(active_cores, chars.thread_count))
+        amdahl_speedup = 1.0 / (
+            (1.0 - chars.parallel_fraction) + chars.parallel_fraction / usable_cores
+        )
+        elapsed = serial_time / amdahl_speedup
+        busy_core_seconds = serial_time  # total work is conserved across cores
+        return {
+            "elapsed_s": elapsed,
+            "busy_core_s": busy_core_seconds,
+            "cycles": cycles,
+            "instructions": instructions,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run_snippet(
+        self,
+        snippet: Snippet,
+        config: SoCConfiguration,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = False,
+    ) -> SnippetResult:
+        """Execute ``snippet`` at ``config`` and return the full result.
+
+        When ``deterministic`` is True (or ``noise_scale`` is zero) the result
+        contains the expected values with no measurement noise; the Oracle
+        construction uses this mode so that the ground-truth best
+        configuration is well defined.
+        """
+        chars = snippet.characteristics
+        per_cluster = {
+            name: self._cluster_time_and_work(name, snippet, config)
+            for name in self.platform.cluster_names
+        }
+        total_time = max(info["elapsed_s"] for info in per_cluster.values())
+        if total_time <= 0.0:
+            raise ValueError("snippet produced zero execution time")
+
+        utilizations: Dict[str, float] = {}
+        power_breakdown: Dict[str, float] = {}
+        total_power = self.platform.base_power_w
+        power_breakdown["base"] = self.platform.base_power_w
+        for name, info in per_cluster.items():
+            spec = self.platform.cluster(name)
+            opp_index = config.opp_index(name)
+            active = config.cores(name)
+            utilization = info["busy_core_s"] / (active * total_time)
+            if name == "little":
+                utilization = min(1.0, utilization + LITTLE_BACKGROUND_UTILIZATION)
+            utilization = min(1.0, utilization)
+            utilizations[name] = utilization
+            dynamic = spec.dynamic_power_w(opp_index, active, utilization)
+            static = spec.static_power_w(opp_index, active)
+            power_breakdown[f"{name}_dynamic"] = dynamic
+            power_breakdown[f"{name}_static"] = static
+            total_power += dynamic + static
+
+        l2_misses = snippet.n_instructions * chars.memory_intensity / 1000.0
+        external_requests = l2_misses * chars.external_request_rate
+        memory_traffic_gbps = (
+            external_requests * BYTES_PER_EXTERNAL_REQUEST / total_time / 1e9
+        )
+        memory_power = self.platform.memory_power_w_per_gbps * memory_traffic_gbps
+        power_breakdown["memory"] = memory_power
+        total_power += memory_power
+
+        noise_rng = rng if rng is not None else self.rng
+        if deterministic or self.noise_scale == 0.0:
+            time_noise = 1.0
+            power_noise = 1.0
+        else:
+            time_noise = float(
+                np.exp(noise_rng.normal(0.0, self.noise_scale))
+            )
+            power_noise = float(
+                np.exp(noise_rng.normal(0.0, self.noise_scale))
+            )
+        measured_time = total_time * time_noise
+        measured_power = total_power * power_noise
+        energy = measured_power * measured_time
+
+        total_cycles = sum(info["cycles"] for info in per_cluster.values())
+        counters = PerformanceCounters(
+            instructions_retired=snippet.n_instructions,
+            cpu_cycles=total_cycles,
+            branch_mispredictions=(
+                snippet.n_instructions * chars.branch_misprediction_mpki / 1000.0
+            ),
+            l2_cache_misses=l2_misses,
+            data_memory_accesses=snippet.n_instructions * chars.memory_access_rate,
+            noncache_external_memory_requests=external_requests,
+            little_cluster_utilization=utilizations.get("little", 0.0),
+            big_cluster_utilization=utilizations.get("big", 0.0),
+            total_chip_power_w=measured_power,
+            execution_time_s=measured_time,
+        )
+        return SnippetResult(
+            snippet=snippet,
+            configuration=config,
+            execution_time_s=measured_time,
+            energy_j=energy,
+            average_power_w=measured_power,
+            counters=counters,
+            power_breakdown_w=power_breakdown,
+        )
+
+    def evaluate_expected(self, snippet: Snippet, config: SoCConfiguration) -> SnippetResult:
+        """Noise-free evaluation used for Oracle construction and analysis."""
+        return self.run_snippet(snippet, config, deterministic=True)
+
+    def sweep_configurations(self, snippet: Snippet, configs) -> Dict[SoCConfiguration, SnippetResult]:
+        """Evaluate one snippet across many configurations (noise-free)."""
+        return {config: self.evaluate_expected(snippet, config) for config in configs}

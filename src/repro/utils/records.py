@@ -1,0 +1,105 @@
+"""Light-weight run records used by simulators, controllers and experiments.
+
+A :class:`RunRecord` is a single named observation (a dict of scalars), and a
+:class:`RunLog` is an append-only sequence of records with convenience
+accessors for turning the log into column arrays.  Experiments use these to
+collect time series (accuracy over time, per-app energies, ...) without
+depending on pandas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RunRecord:
+    """One observation: a step index plus a mapping of named scalar values."""
+
+    step: int
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    def get(self, key: str, default: float = float("nan")) -> float:
+        return self.values.get(key, default)
+
+
+class RunLog:
+    """Append-only log of :class:`RunRecord` objects."""
+
+    def __init__(self) -> None:
+        self._records: List[RunRecord] = []
+
+    def append(self, step: int, **values: float) -> RunRecord:
+        record = RunRecord(step=step, values={k: float(v) for k, v in values.items()})
+        self._records.append(record)
+        return record
+
+    def extend(self, records: Sequence[RunRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return list(self._records)
+
+    def column(self, key: str, default: float = float("nan")) -> np.ndarray:
+        """Return the values of ``key`` across all records as an array."""
+        return np.array([r.get(key, default) for r in self._records], dtype=float)
+
+    def steps(self) -> np.ndarray:
+        return np.array([r.step for r in self._records], dtype=int)
+
+    def last(self) -> RunRecord:
+        if not self._records:
+            raise IndexError("RunLog is empty")
+        return self._records[-1]
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Return the log as a column-oriented dictionary."""
+        keys: List[str] = []
+        for record in self._records:
+            for key in record.values:
+                if key not in keys:
+                    keys.append(key)
+        out: Dict[str, List[float]] = {"step": [float(r.step) for r in self._records]}
+        for key in keys:
+            out[key] = [r.get(key) for r in self._records]
+        return out
+
+    def summary(self, key: str) -> Dict[str, float]:
+        """Return mean/min/max/std summary statistics for one column."""
+        col = self.column(key)
+        col = col[~np.isnan(col)]
+        if col.size == 0:
+            return {"mean": float("nan"), "min": float("nan"),
+                    "max": float("nan"), "std": float("nan")}
+        return {
+            "mean": float(np.mean(col)),
+            "min": float(np.min(col)),
+            "max": float(np.max(col)),
+            "std": float(np.std(col)),
+        }
+
+
+def merge_logs(logs: Mapping[str, RunLog], key: str) -> Dict[str, np.ndarray]:
+    """Extract column ``key`` from several named logs into one mapping."""
+    return {name: log.column(key) for name, log in logs.items()}
+
+
+def as_float_dict(values: Mapping[str, Any]) -> Dict[str, float]:
+    """Coerce a mapping of scalars to plain floats (useful for records)."""
+    return {k: float(v) for k, v in values.items()}

@@ -1,0 +1,54 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps the
+experiments reproducible end-to-end: a single top-level seed deterministically
+derives independent child generators for the SoC simulator, the workload
+generators, and the learning algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
+    generator (returned unchanged so callers can share streams explicitly).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from a single ``seed``.
+
+    Independence is provided by :class:`numpy.random.SeedSequence` spawning,
+    so the children do not overlap even for adjacent seeds.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Use the generator itself to produce child seeds deterministically.
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def derive_seed(seed: SeedLike, stream: Iterable[int]) -> int:
+    """Deterministically derive an integer seed from ``seed`` and a key path."""
+    key = list(stream)
+    if isinstance(seed, np.random.Generator):
+        base: Optional[int] = int(seed.integers(0, 2**31 - 1))
+    else:
+        base = seed
+    seq = np.random.SeedSequence(entropy=base, spawn_key=tuple(key))
+    return int(seq.generate_state(1)[0])

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/columns the paper reports; this
+module renders them as aligned ASCII tables so the output is readable both in
+terminals and in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table string."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in rendered_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_row)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_row))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_mapping(values: Mapping[str, Cell], precision: int = 3,
+                   title: Optional[str] = None) -> str:
+    """Render a flat mapping as a two-column key/value table."""
+    rows = [(key, value) for key, value in values.items()]
+    return format_table(["metric", "value"], rows, precision=precision, title=title)

@@ -1,0 +1,84 @@
+"""Snippet trace generation from workload specifications.
+
+Given a :class:`~repro.workloads.spec.WorkloadSpec`, the generator samples the
+per-snippet characteristics around each phase's mean with the configured
+jitter, producing the snippet sequence the SoC simulator executes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.soc.snippet import Snippet, SnippetCharacteristics
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.spec import WorkloadPhase, WorkloadSpec
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return float(min(max(value, low), high))
+
+
+class SnippetTraceGenerator:
+    """Expands workload specs into concrete snippet traces."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.rng = make_rng(seed)
+
+    def _sample_characteristics(
+        self, phase: WorkloadPhase, rng: np.random.Generator
+    ) -> SnippetCharacteristics:
+        base = phase.characteristics
+        jitter = phase.jitter
+
+        def wobble(value: float) -> float:
+            if jitter == 0.0:
+                return value
+            return value * float(np.exp(rng.normal(0.0, jitter)))
+
+        return SnippetCharacteristics(
+            memory_intensity=max(0.0, wobble(base.memory_intensity)),
+            memory_access_rate=_clip(wobble(base.memory_access_rate), 0.0, 1.0),
+            external_request_rate=_clip(wobble(base.external_request_rate), 0.0, 1.0),
+            branch_misprediction_mpki=max(0.0, wobble(base.branch_misprediction_mpki)),
+            ilp_factor=_clip(wobble(base.ilp_factor), 0.05, 1.0),
+            parallel_fraction=_clip(base.parallel_fraction, 0.0, 1.0),
+            thread_count=base.thread_count,
+            big_fraction=_clip(base.big_fraction, 0.0, 1.0),
+        )
+
+    def generate(
+        self,
+        spec: WorkloadSpec,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Snippet]:
+        """Generate the snippet trace for one application run."""
+        local_rng = rng if rng is not None else self.rng
+        snippets: List[Snippet] = []
+        index = 0
+        for phase in spec.phases:
+            for _ in range(phase.n_snippets):
+                characteristics = self._sample_characteristics(phase, local_rng)
+                snippets.append(
+                    Snippet(
+                        application=spec.name,
+                        index=index,
+                        n_instructions=spec.snippet_instructions,
+                        characteristics=characteristics,
+                    )
+                )
+                index += 1
+        return snippets
+
+    def generate_many(
+        self,
+        specs,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Snippet]:
+        """Concatenate traces for several applications, in the given order."""
+        local_rng = rng if rng is not None else self.rng
+        trace: List[Snippet] = []
+        for spec in specs:
+            trace.extend(self.generate(spec, rng=local_rng))
+        return trace

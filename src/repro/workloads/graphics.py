@@ -1,0 +1,140 @@
+"""Graphics benchmark presets for the GPU / ENMPC experiments.
+
+Figure 5 of the paper evaluates explicit NMPC on ten mobile graphics
+benchmarks running on an Intel Core i5 integrated GPU; Figure 2 uses the
+Nenamark2 benchmark on a Minnowboard MAX.  Real game traces are not
+available, so each benchmark is a synthetic frame trace parameterised by:
+
+* ``load`` — mean frame work as a fraction of the GPU's capacity per frame at
+  the maximal configuration (frequency and slices), which controls how much
+  DVFS/slice-gating slack exists;
+* ``variation`` — frame-to-frame lognormal jitter, which controls how much a
+  reactive baseline governor must over-provision;
+* ``phase_amplitude`` — slow scene-level load modulation.
+
+The paper's savings spread (5-58 % across apps) comes from exactly these two
+axes: light and/or highly variable games leave the most room for predictive,
+multi-knob control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gpu.frames import FrameTrace, generate_frame_trace
+from repro.gpu.gpu import GPUSpec, default_integrated_gpu
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass(frozen=True)
+class GraphicsBenchmarkSpec:
+    """Parameters of one synthetic graphics benchmark."""
+
+    name: str
+    load: float
+    variation: float
+    phase_amplitude: float
+    target_fps: float = 30.0
+    memory_bytes_per_cycle: float = 0.8
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load < 1.0:
+            raise ValueError("load must be in (0, 1)")
+        if self.variation < 0 or self.phase_amplitude < 0:
+            raise ValueError("variation parameters must be non-negative")
+        if self.target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+
+
+#: The ten benchmarks reported in Figure 5, in the paper's x-axis order.
+GRAPHICS_APPS: Dict[str, GraphicsBenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        GraphicsBenchmarkSpec("3dmark-icestorm", load=0.62, variation=0.10,
+                              phase_amplitude=0.20,
+                              description="synthetic GPU benchmark, heavy scenes"),
+        GraphicsBenchmarkSpec("angrybirds", load=0.16, variation=0.04,
+                              phase_amplitude=0.05,
+                              description="casual 2D game, light and steady"),
+        GraphicsBenchmarkSpec("angrybots", load=0.38, variation=0.14,
+                              phase_amplitude=0.15,
+                              description="3D shooter demo, moderate load"),
+        GraphicsBenchmarkSpec("epiccitadel", load=0.48, variation=0.12,
+                              phase_amplitude=0.18,
+                              description="Unreal engine fly-through"),
+        GraphicsBenchmarkSpec("fruitninja", load=0.22, variation=0.10,
+                              phase_amplitude=0.10,
+                              description="casual game with particle bursts"),
+        GraphicsBenchmarkSpec("gfxbench-trex", load=0.72, variation=0.08,
+                              phase_amplitude=0.15,
+                              description="heavy GPU benchmark scene"),
+        GraphicsBenchmarkSpec("junglerun", load=0.30, variation=0.16,
+                              phase_amplitude=0.12,
+                              description="endless runner, bursty"),
+        GraphicsBenchmarkSpec("sharkdash", load=0.26, variation=0.22,
+                              phase_amplitude=0.20,
+                              description="casual game, highly variable scenes"),
+        GraphicsBenchmarkSpec("thechase", load=0.55, variation=0.12,
+                              phase_amplitude=0.18,
+                              description="cinematic chase demo"),
+        GraphicsBenchmarkSpec("vendettamark", load=0.42, variation=0.15,
+                              phase_amplitude=0.16,
+                              description="3D benchmark scene"),
+    ]
+}
+
+#: Frame-time modelling benchmark of Figure 2 (Nenamark2 on Minnowboard MAX).
+NENAMARK2 = GraphicsBenchmarkSpec(
+    "nenamark2", load=0.35, variation=0.025, phase_amplitude=0.25,
+    target_fps=60.0, description="OpenGL ES benchmark used for Fig. 2",
+)
+
+
+def figure5_benchmark_order() -> List[str]:
+    """Benchmark names in the order of the Figure 5 x-axis."""
+    return list(GRAPHICS_APPS.keys())
+
+
+def get_graphics_workload(
+    name: str,
+    gpu: GPUSpec = None,
+    n_frames: int = 600,
+    seed: SeedLike = 0,
+) -> FrameTrace:
+    """Build the frame trace for graphics benchmark ``name``.
+
+    ``load`` is interpreted relative to the capacity per frame of ``gpu`` at
+    its maximal configuration, so the same spec produces consistent pressure
+    on differently sized GPUs.
+    """
+    key = name.lower()
+    specs = dict(GRAPHICS_APPS)
+    specs[NENAMARK2.name] = NENAMARK2
+    if key not in specs:
+        raise KeyError(f"unknown graphics benchmark {name!r}; "
+                       f"available: {sorted(specs)}")
+    spec = specs[key]
+    if gpu is None:
+        gpu = default_integrated_gpu()
+    # Interpret ``load`` as the fraction of the frame deadline the GPU is busy
+    # at its maximal configuration, including the memory phase, so that a
+    # load below ~0.85 always leaves headroom for jitter and scene peaks.
+    seconds_per_cycle = (
+        1.0 / gpu.max_throughput_cycles_per_s()
+        + spec.memory_bytes_per_cycle / (gpu.memory_bandwidth_gbps * 1e9)
+    )
+    mean_work = spec.load / spec.target_fps / seconds_per_cycle
+    return generate_frame_trace(
+        name=spec.name,
+        n_frames=n_frames,
+        mean_work_cycles=mean_work,
+        work_variation=spec.variation,
+        phase_period=120,
+        phase_amplitude=spec.phase_amplitude,
+        memory_bytes_per_cycle=spec.memory_bytes_per_cycle,
+        target_fps=spec.target_fps,
+        seed=derive_seed(seed, [hash(key) % (2**16)]),
+        description=spec.description,
+    )

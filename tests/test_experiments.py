@@ -1,0 +1,141 @@
+"""Integration tests: every experiment driver runs and reproduces the paper's shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_table1,
+    format_table2,
+    run_figure2,
+    run_figure5,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.ablations import (
+    run_buffer_size_ablation,
+    run_config_space_ablation,
+    run_explicit_nmpc_ablation,
+    run_forgetting_factor_ablation,
+    run_noc_model_comparison,
+)
+from repro.experiments.common import run_online_adaptation_study
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+
+from conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def adaptation_study():
+    return run_online_adaptation_study(TINY, seed=0)
+
+
+class TestTable1:
+    def test_schema_covers_paper_counters(self):
+        result = run_table1()
+        assert result.covered
+        assert len(result.rows) == 9
+        assert "Table I" in format_table1(result)
+
+
+class TestTable2:
+    def test_generalization_shape(self):
+        result = run_table2(TINY, seed=0)
+        # Training suite stays close to the Oracle...
+        assert result.suite_mean("Mi-Bench") < 1.12
+        # ...while the unseen suites are clearly worse (the paper's gap).
+        assert result.suite_mean("PARSEC") > result.suite_mean("Mi-Bench")
+        assert result.generalization_gap > 0.0
+        assert all(v >= 0.99 for v in result.normalized_energy.values())
+        text = format_table2(result)
+        assert "Blkschls4T" in text
+
+
+class TestFigure2:
+    def test_prediction_error_within_bound(self):
+        result = run_figure2(TINY, seed=0)
+        assert result.n_frames() == TINY.gpu_frames
+        assert result.error_percent() < 10.0
+        assert len(result.predicted_ms) == len(result.measured_ms)
+        assert "Nenamark2" in format_figure2(result)
+
+
+class TestFigure3:
+    def test_online_il_converges_and_rl_does_not(self, adaptation_study):
+        result = run_figure3(TINY, study=adaptation_study)
+        # Online IL ends near the Oracle decisions; RL stays clearly below.
+        late = slice(int(len(result.online_il_near_optimal) * 0.7), None)
+        il_late = float(np.mean(result.online_il_near_optimal[late]))
+        rl_late = float(np.mean(result.rl_near_optimal[late]))
+        assert il_late > 60.0
+        assert il_late > rl_late + 15.0
+        assert result.time_axis_s[-1] > result.time_axis_s[0]
+        assert "Figure 3" in format_figure3(result)
+
+    def test_convergence_fraction_bounded(self, adaptation_study):
+        result = run_figure3(TINY, study=adaptation_study)
+        assert 0.0 <= result.convergence_fraction(threshold=60.0) <= 1.0
+
+
+class TestFigure4:
+    def test_energy_shape(self, adaptation_study):
+        result = run_figure4(TINY, study=adaptation_study)
+        assert len(result.applications()) == 16
+        # Online-IL stays close to the Oracle on average; RL is clearly worse.
+        assert result.mean("il") < 1.10
+        assert result.mean("rl") > result.mean("il")
+        assert result.worst("rl") > 1.05
+        text = format_figure4(result)
+        assert "blackscholes-4t" in text
+
+
+class TestFigure5:
+    def test_enmpc_saves_energy_with_small_overhead(self):
+        result = run_figure5(TINY, seed=0,
+                             benchmarks=["angrybirds", "epiccitadel", "vendettamark"])
+        assert len(result.per_benchmark) == 3
+        for row in result.per_benchmark:
+            assert row.gpu_savings_percent > 0.0
+            assert row.pkg_savings_percent <= row.gpu_savings_percent + 1.0
+            assert row.fps_overhead_percent < 8.0
+        assert result.average("gpu_savings_percent") > 5.0
+        assert "Figure 5" in format_figure5(result)
+
+
+class TestAblations:
+    def test_buffer_size_ablation_runs(self):
+        rows = run_buffer_size_ablation(buffer_sizes=(5, 20), scale=TINY, seed=0)
+        assert len(rows) == 2
+        assert rows[0].policy_updates >= rows[1].policy_updates
+        assert all(r.storage_bytes < 20 * 1024 for r in rows)
+
+    def test_forgetting_factor_ablation(self):
+        rows = run_forgetting_factor_ablation(factors=(0.9, 0.99), scale=TINY,
+                                              seed=0, include_adaptive=True)
+        assert len(rows) == 3
+        assert all(r.error_percent > 0 for r in rows)
+
+    def test_explicit_nmpc_ablation(self):
+        rows = run_explicit_nmpc_ablation(scale=TINY, seed=0)
+        names = {r.model_name for r in rows}
+        assert names == {"decision-tree", "linear", "knn"}
+        tree = next(r for r in rows if r.model_name == "decision-tree")
+        linear = next(r for r in rows if r.model_name == "linear")
+        assert tree.surface_disagreement <= linear.surface_disagreement + 0.05
+
+    def test_config_space_ablation(self):
+        rows = run_config_space_ablation(scale=TINY, seed=0)
+        assert len(rows) == 2
+        assert rows[1].n_configurations > rows[0].n_configurations
+
+    def test_noc_model_comparison(self):
+        result = run_noc_model_comparison(mesh_width=3,
+                                          train_rates=(0.02, 0.05, 0.08, 0.11),
+                                          test_rates=(0.04, 0.09), n_cycles=150,
+                                          seed=0)
+        assert result.n_train == 4 and result.n_test == 2
+        assert result.svr_mape_percent > 0

@@ -1,0 +1,216 @@
+"""Tests for the batch regression models (linear, ridge, trees, forest, SVR, kNN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    BaggedTreesRegressor,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    LinearRegressor,
+    RidgeRegressor,
+    SupportVectorRegressor,
+    mean_absolute_error,
+    r2_score,
+)
+
+
+def make_linear_data(rng, n=120, d=4, noise=0.05):
+    x = rng.normal(size=(n, d))
+    coef = rng.normal(size=d)
+    y = x @ coef + 0.7 + rng.normal(scale=noise, size=n)
+    return x, y, coef
+
+
+class TestLinearRegressor:
+    def test_recovers_coefficients(self, rng):
+        x, y, coef = make_linear_data(rng, noise=0.0)
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(model.coef_, coef, atol=1e-8)
+        assert model.intercept_ == pytest.approx(0.7, abs=1e-8)
+
+    def test_score_near_one_on_clean_data(self, rng):
+        x, y, _ = make_linear_data(rng)
+        assert LinearRegressor().fit(x, y).score(x, y) > 0.98
+
+    def test_no_intercept(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([1.0, -2.0])
+        model = LinearRegressor(fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1.0, -2.0], atol=1e-8)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.zeros((1, 2)))
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(rng.normal(size=(10, 2)), rng.normal(size=9))
+
+    def test_1d_input_reshaped(self, rng):
+        x, y, _ = make_linear_data(rng, d=3)
+        model = LinearRegressor().fit(x, y)
+        single = model.predict(x[0])
+        assert single.shape == (1,)
+
+
+class TestRidgeRegressor:
+    def test_matches_ols_at_zero_alpha(self, rng):
+        x, y, _ = make_linear_data(rng)
+        ols = LinearRegressor().fit(x, y)
+        ridge = RidgeRegressor(alpha=0.0).fit(x, y)
+        assert np.allclose(ols.coef_, ridge.coef_, atol=1e-6)
+
+    def test_shrinkage_with_large_alpha(self, rng):
+        x, y, _ = make_linear_data(rng)
+        small = RidgeRegressor(alpha=0.01).fit(x, y)
+        large = RidgeRegressor(alpha=1e4).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+    def test_no_intercept_mode(self, rng):
+        x = rng.normal(size=(40, 2))
+        y = x @ np.array([2.0, 1.0])
+        model = RidgeRegressor(alpha=1e-6, fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+
+
+class TestDecisionTree:
+    def test_regressor_fits_step_function(self, rng):
+        x = rng.uniform(0, 1, size=(200, 1))
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        model = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert mean_absolute_error(y, model.predict(x)) < 0.5
+
+    def test_regressor_constant_target(self, rng):
+        x = rng.normal(size=(30, 2))
+        y = np.full(30, 3.0)
+        model = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(model.predict(x), 3.0)
+
+    def test_depth_limit_respected(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        model = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert model.depth() <= 3
+
+    def test_classifier_separable_data(self, rng):
+        x = np.vstack([rng.normal(-2, 0.3, size=(50, 2)),
+                       rng.normal(2, 0.3, size=(50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        model = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_classifier_preserves_label_values(self, rng):
+        x = rng.normal(size=(60, 2))
+        y = rng.choice([3, 7, 11], size=60)
+        model = DecisionTreeClassifier(max_depth=5).fit(x, y)
+        assert set(np.unique(model.predict(x))).issubset({3, 7, 11})
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_node_count_positive(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x[:, 0]
+        model = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert model.node_count() >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=10, max_value=60))
+    def test_regressor_predictions_within_target_range(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 2))
+        y = rng.uniform(-5, 5, size=n)
+        model = DecisionTreeRegressor(max_depth=5, min_samples_split=2,
+                                      min_samples_leaf=1).fit(x, y)
+        predictions = model.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+
+class TestBaggedTrees:
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(200, 2))
+        y = np.sin(x[:, 0]) + x[:, 1] ** 2
+        model = BaggedTreesRegressor(n_estimators=8, max_depth=6, seed=0).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.8
+
+    def test_max_features_subsampling(self, rng):
+        x = rng.normal(size=(80, 4))
+        y = x[:, 0]
+        model = BaggedTreesRegressor(n_estimators=5, max_features=0.5, seed=1).fit(x, y)
+        assert all(len(subset) == 2 for subset in model.feature_subsets_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BaggedTreesRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BaggedTreesRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            BaggedTreesRegressor(max_features=1.5)
+
+
+class TestSVR:
+    def test_fits_linear_function(self, rng):
+        x = rng.uniform(-1, 1, size=(60, 2))
+        y = 2.0 * x[:, 0] - x[:, 1] + 0.5
+        model = SupportVectorRegressor(kernel="linear", c=50.0, epsilon=0.01)
+        model.fit(x, y)
+        assert mean_absolute_error(y, model.predict(x)) < 0.2
+
+    def test_rbf_fits_smooth_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(80, 1))
+        y = np.sin(x[:, 0])
+        model = SupportVectorRegressor(kernel="rbf", c=50.0, epsilon=0.02,
+                                       gamma=1.0).fit(x, y)
+        assert mean_absolute_error(y, model.predict(x)) < 0.25
+
+    def test_support_vector_count(self, rng):
+        x = rng.uniform(-1, 1, size=(40, 1))
+        y = x[:, 0]
+        model = SupportVectorRegressor(kernel="linear").fit(x, y)
+        assert 0 < model.n_support_ <= 40
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(kernel="poly")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SupportVectorRegressor().predict(np.zeros((1, 1)))
+
+
+class TestKNN:
+    def test_exact_match_returns_training_target(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        model = KNeighborsRegressor(n_neighbors=3).fit(x, y)
+        assert model.predict(x[[4]])[0] == pytest.approx(y[4])
+
+    def test_uniform_weights_average(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0]])
+        y = np.array([0.0, 1.0, 2.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=3, weights="uniform").fit(x, y)
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(1.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=5).fit(np.zeros((3, 1)), np.zeros(3))
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="gaussian")

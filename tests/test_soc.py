@@ -1,0 +1,383 @@
+"""Tests for the SoC substrate: OPPs, clusters, configurations, simulator, governors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc import (
+    ConfigurationSpace,
+    EnergyAccount,
+    InteractiveGovernor,
+    OndemandGovernor,
+    OperatingPoint,
+    OPPTable,
+    PerformanceCounters,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    Snippet,
+    SnippetCharacteristics,
+    SoCConfiguration,
+    SoCSimulator,
+    odroid_xu3_like,
+    generic_big_little,
+)
+
+
+class TestOPP:
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_hz=-1.0, voltage_v=1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_hz=1e9, voltage_v=0.0)
+
+    def test_table_sorted_by_frequency(self):
+        table = OPPTable([OperatingPoint(2e9, 1.2), OperatingPoint(1e9, 1.0)])
+        assert table[0].frequency_hz == 1e9
+        assert table.max_frequency_hz == 2e9
+
+    def test_table_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            OPPTable([])
+        with pytest.raises(ValueError):
+            OPPTable([OperatingPoint(1e9, 1.0), OperatingPoint(1e9, 1.1)])
+
+    def test_from_frequency_range(self):
+        table = OPPTable.from_frequency_range(1e9, 2e9, 5)
+        assert len(table) == 5
+        assert table.min_frequency_hz == 1e9
+        assert table.max_frequency_hz == 2e9
+        voltages = [p.voltage_v for p in table]
+        assert voltages == sorted(voltages)
+
+    def test_index_of_frequency_and_clamp(self):
+        table = OPPTable.from_frequency_range(1e9, 2e9, 5)
+        assert table.index_of_frequency(1e9) == 0
+        assert table.index_of_frequency(5e9) == 4
+        assert table.clamp_index(-3) == 0
+        assert table.clamp_index(99) == 4
+
+    def test_frequency_unit_helpers(self):
+        point = OperatingPoint(1.5e9, 1.0)
+        assert point.frequency_ghz == pytest.approx(1.5)
+        assert point.frequency_mhz == pytest.approx(1500.0)
+
+
+class TestClusterAndPlatform:
+    def test_cluster_power_models(self, platform):
+        big = platform.big
+        top = len(big.opps) - 1
+        dynamic_low = big.dynamic_power_w(0, 4, 1.0)
+        dynamic_high = big.dynamic_power_w(top, 4, 1.0)
+        assert dynamic_high > dynamic_low > 0
+        assert big.static_power_w(top, 4) > big.static_power_w(top, 1)
+        assert big.dynamic_power_w(top, 4, 0.0) == 0.0
+
+    def test_cluster_index_validation(self, platform):
+        with pytest.raises(IndexError):
+            platform.big.dynamic_power_w(99, 4, 1.0)
+
+    def test_platform_lookup(self, platform):
+        assert platform.cluster("big").name == "big"
+        with pytest.raises(KeyError):
+            platform.cluster("gpu")
+        assert platform.total_cores() == 8
+
+    def test_generic_platform_parameters(self):
+        platform = generic_big_little(n_big_cores=2, n_little_cores=6)
+        assert platform.big.n_cores == 2
+        assert platform.little.n_cores == 6
+
+
+class TestConfigurationSpace:
+    def test_size_without_gating(self, platform):
+        space = ConfigurationSpace(platform)
+        assert len(space) == len(platform.big.opps) * len(platform.little.opps)
+
+    def test_size_with_big_gating_only(self, platform):
+        space = ConfigurationSpace(platform, allow_core_gating=True,
+                                   gated_clusters=("big",))
+        expected = (len(platform.big.opps) * len(platform.little.opps)
+                    * platform.big.n_cores)
+        assert len(space) == expected
+
+    def test_unknown_gated_cluster_rejected(self, platform):
+        with pytest.raises(KeyError):
+            ConfigurationSpace(platform, allow_core_gating=True,
+                               gated_clusters=("gpu",))
+
+    def test_index_round_trip(self, space):
+        for i in [0, len(space) // 2, len(space) - 1]:
+            assert space.index_of(space[i]) == i
+
+    def test_default_configuration_all_cores(self, space, platform):
+        default = space.default_configuration()
+        assert default.cores("big") == platform.big.n_cores
+        assert space.contains(default)
+
+    def test_neighbors_radius_zero_is_self(self, space):
+        config = space.default_configuration()
+        assert space.neighbors(config, radius=0) == [config]
+
+    def test_neighbors_exclude_self(self, space):
+        config = space.default_configuration()
+        neighbors = space.neighbors(config, radius=1, include_self=False)
+        assert config not in neighbors
+        assert len(neighbors) > 0
+
+    def test_neighbors_within_radius(self, space):
+        config = space.default_configuration()
+        for neighbor in space.neighbors(config, radius=2):
+            assert abs(neighbor.opp_index("big") - config.opp_index("big")) <= 2
+            assert abs(neighbor.opp_index("little") - config.opp_index("little")) <= 2
+
+    def test_random_configuration_in_space(self, space, rng):
+        for _ in range(10):
+            assert space.contains(space.random_configuration(rng))
+
+    def test_config_feature_matrix_shape(self, space):
+        matrix = space.config_feature_matrix()
+        assert matrix.shape == (len(space), 4)
+
+    def test_configuration_accessors(self, space, platform):
+        config = space.default_configuration()
+        opps, cores = config.as_dicts()
+        rebuilt = SoCConfiguration.from_dicts(opps, cores)
+        assert rebuilt == config
+        assert "big" in config.describe(platform)
+        with pytest.raises(KeyError):
+            config.opp_index("gpu")
+        vector = config.as_vector(["big", "little"])
+        assert vector.shape == (4,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(radius=st.integers(min_value=1, max_value=3))
+    def test_neighbors_always_contain_self_property(self, radius):
+        platform = odroid_xu3_like(n_big_levels=4, n_little_levels=3)
+        space = ConfigurationSpace(platform)
+        config = space.default_configuration()
+        assert config in space.neighbors(config, radius=radius)
+
+
+class TestCounters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceCounters(
+                instructions_retired=0, cpu_cycles=1, branch_mispredictions=0,
+                l2_cache_misses=0, data_memory_accesses=0,
+                noncache_external_memory_requests=0,
+                little_cluster_utilization=0.5, big_cluster_utilization=0.5,
+                total_chip_power_w=1.0,
+            )
+        with pytest.raises(ValueError):
+            PerformanceCounters(
+                instructions_retired=1e6, cpu_cycles=1e6, branch_mispredictions=0,
+                l2_cache_misses=0, data_memory_accesses=0,
+                noncache_external_memory_requests=0,
+                little_cluster_utilization=1.5, big_cluster_utilization=0.5,
+                total_chip_power_w=1.0,
+            )
+
+    def test_feature_vector_shape_and_names(self, simulator, space, compute_snippet):
+        result = simulator.run_snippet(compute_snippet, space.default_configuration())
+        counters = result.counters
+        assert counters.as_vector().shape == (9,)
+        assert counters.feature_vector().shape == (PerformanceCounters.n_features(),)
+        assert len(PerformanceCounters.feature_names()) == PerformanceCounters.n_features()
+        assert set(counters.as_dict()) >= {"cpu_cycles", "total_chip_power_w"}
+
+
+class TestSnippet:
+    def test_characteristics_validation(self):
+        with pytest.raises(ValueError):
+            SnippetCharacteristics(memory_intensity=-1.0)
+        with pytest.raises(ValueError):
+            SnippetCharacteristics(ilp_factor=0.0)
+        with pytest.raises(ValueError):
+            SnippetCharacteristics(thread_count=0)
+        with pytest.raises(ValueError):
+            SnippetCharacteristics(big_fraction=1.5)
+
+    def test_snippet_name(self):
+        snippet = Snippet(application="fft", index=3)
+        assert snippet.name == "fft[3]"
+        with pytest.raises(ValueError):
+            Snippet(application="fft", index=0, n_instructions=0)
+
+
+class TestSimulator:
+    def test_higher_big_frequency_is_faster(self, simulator, space, compute_snippet):
+        slow = SoCConfiguration.from_dicts({"big": 0, "little": 0},
+                                           {"big": 4, "little": 4})
+        fast = SoCConfiguration.from_dicts(
+            {"big": len(simulator.platform.big.opps) - 1, "little": 0},
+            {"big": 4, "little": 4})
+        t_slow = simulator.evaluate_expected(compute_snippet, slow).execution_time_s
+        t_fast = simulator.evaluate_expected(compute_snippet, fast).execution_time_s
+        assert t_fast < t_slow
+
+    def test_memory_bound_gains_less_from_frequency(self, simulator, compute_snippet,
+                                                    memory_snippet):
+        platform = simulator.platform
+        low = SoCConfiguration.from_dicts({"big": 0, "little": 0}, {"big": 4, "little": 4})
+        high = SoCConfiguration.from_dicts(
+            {"big": len(platform.big.opps) - 1, "little": 0}, {"big": 4, "little": 4})
+        speedup_compute = (simulator.evaluate_expected(compute_snippet, low).execution_time_s
+                           / simulator.evaluate_expected(compute_snippet, high).execution_time_s)
+        speedup_memory = (simulator.evaluate_expected(memory_snippet, low).execution_time_s
+                          / simulator.evaluate_expected(memory_snippet, high).execution_time_s)
+        assert speedup_compute > speedup_memory
+
+    def test_parallel_snippet_uses_big_cluster_fully(self, simulator, space,
+                                                     parallel_snippet, compute_snippet):
+        config = space.default_configuration()
+        parallel_util = simulator.evaluate_expected(
+            parallel_snippet, config).counters.big_cluster_utilization
+        serial_util = simulator.evaluate_expected(
+            compute_snippet, config).counters.big_cluster_utilization
+        assert parallel_util > serial_util
+
+    def test_power_increases_with_frequency(self, simulator, compute_snippet):
+        platform = simulator.platform
+        low = SoCConfiguration.from_dicts({"big": 0, "little": 0}, {"big": 4, "little": 4})
+        high = SoCConfiguration.from_dicts(
+            {"big": len(platform.big.opps) - 1, "little": 0}, {"big": 4, "little": 4})
+        assert (simulator.evaluate_expected(compute_snippet, high).average_power_w
+                > simulator.evaluate_expected(compute_snippet, low).average_power_w)
+
+    def test_energy_equals_power_times_time(self, simulator, space, compute_snippet):
+        result = simulator.evaluate_expected(compute_snippet, space.default_configuration())
+        assert result.energy_j == pytest.approx(
+            result.average_power_w * result.execution_time_s)
+
+    def test_deterministic_evaluation_repeatable(self, simulator, space, memory_snippet):
+        config = space.default_configuration()
+        a = simulator.evaluate_expected(memory_snippet, config)
+        b = simulator.evaluate_expected(memory_snippet, config)
+        assert a.energy_j == b.energy_j
+
+    def test_noise_produces_variation(self, noisy_simulator, space, compute_snippet):
+        config = space.default_configuration()
+        energies = {noisy_simulator.run_snippet(compute_snippet, config).energy_j
+                    for _ in range(5)}
+        assert len(energies) > 1
+
+    def test_counters_reflect_characteristics(self, simulator, space, memory_snippet):
+        result = simulator.evaluate_expected(memory_snippet, space.default_configuration())
+        counters = result.counters
+        expected_misses = (memory_snippet.n_instructions
+                           * memory_snippet.characteristics.memory_intensity / 1000.0)
+        assert counters.l2_cache_misses == pytest.approx(expected_misses)
+        assert counters.instructions_retired == memory_snippet.n_instructions
+
+    def test_power_breakdown_sums_to_total(self, simulator, space, compute_snippet):
+        result = simulator.evaluate_expected(compute_snippet, space.default_configuration())
+        assert sum(result.power_breakdown_w.values()) == pytest.approx(
+            result.average_power_w, rel=1e-6)
+
+    def test_result_derived_metrics(self, simulator, space, compute_snippet):
+        result = simulator.evaluate_expected(compute_snippet, space.default_configuration())
+        assert result.energy_per_instruction_nj > 0
+        assert result.performance_ips > 0
+        assert result.performance_per_watt > 0
+        assert result.energy_delay_product == pytest.approx(
+            result.energy_j * result.execution_time_s)
+
+    def test_sweep_configurations(self, simulator, space, compute_snippet):
+        subset = space.configurations[:5]
+        results = simulator.sweep_configurations(compute_snippet, subset)
+        assert len(results) == 5
+
+    def test_fewer_cores_slow_down_parallel_snippet(self, platform, parallel_snippet):
+        space = ConfigurationSpace(platform, allow_core_gating=True,
+                                   gated_clusters=("big",))
+        simulator = SoCSimulator(platform, noise_scale=0.0)
+        opps, _ = space.default_configuration().as_dicts()
+        four = SoCConfiguration.from_dicts(opps, {"big": 4, "little": 4})
+        one = SoCConfiguration.from_dicts(opps, {"big": 1, "little": 4})
+        assert (simulator.evaluate_expected(parallel_snippet, one).execution_time_s
+                > simulator.evaluate_expected(parallel_snippet, four).execution_time_s * 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(mpki=st.floats(min_value=0.0, max_value=30.0),
+           ilp=st.floats(min_value=0.2, max_value=1.0),
+           threads=st.integers(min_value=1, max_value=4))
+    def test_energy_and_time_always_positive(self, mpki, ilp, threads):
+        platform = odroid_xu3_like(n_big_levels=4, n_little_levels=3)
+        space = ConfigurationSpace(platform)
+        simulator = SoCSimulator(platform, noise_scale=0.0)
+        snippet = Snippet(
+            application="prop", index=0,
+            characteristics=SnippetCharacteristics(
+                memory_intensity=mpki, ilp_factor=ilp, thread_count=threads,
+                parallel_fraction=0.5 if threads > 1 else 0.0,
+            ),
+        )
+        result = simulator.evaluate_expected(snippet, space.default_configuration())
+        assert result.execution_time_s > 0
+        assert result.energy_j > 0
+        assert 0.0 <= result.counters.big_cluster_utilization <= 1.0
+
+
+class TestEnergyAccount:
+    def test_accumulates_totals(self, simulator, space, compute_snippet, memory_snippet):
+        account = EnergyAccount()
+        config = space.default_configuration()
+        r1 = simulator.evaluate_expected(compute_snippet, config)
+        r2 = simulator.evaluate_expected(memory_snippet, config)
+        account.extend([r1, r2])
+        assert len(account) == 2
+        assert account.total_energy_j == pytest.approx(r1.energy_j + r2.energy_j)
+        assert account.application_energy_j("compute") == pytest.approx(r1.energy_j)
+        assert account.average_power_w > 0
+        assert account.energy_per_instruction_nj > 0
+        assert set(account.per_component_energy()) >= {"base", "memory"}
+
+
+class TestGovernors:
+    def _counters_with_util(self, simulator, space, snippet):
+        return simulator.evaluate_expected(snippet, space.default_configuration()).counters
+
+    def test_performance_governor_max_frequency(self, space, simulator, compute_snippet):
+        governor = PerformanceGovernor(space)
+        counters = self._counters_with_util(simulator, space, compute_snippet)
+        config = governor.decide(counters)
+        assert config.opp_index("big") == len(space.platform.big.opps) - 1
+
+    def test_powersave_governor_min_frequency(self, space, simulator, compute_snippet):
+        governor = PowersaveGovernor(space)
+        counters = self._counters_with_util(simulator, space, compute_snippet)
+        config = governor.decide(counters)
+        assert config.opp_index("big") == 0
+        assert config.opp_index("little") == 0
+
+    def test_ondemand_ramps_up_on_high_utilization(self, space, simulator, parallel_snippet):
+        governor = OndemandGovernor(space, up_threshold=0.7)
+        counters = self._counters_with_util(simulator, space, parallel_snippet)
+        config = governor.decide(counters)
+        assert config.opp_index("big") == len(space.platform.big.opps) - 1
+
+    def test_ondemand_steps_down_when_idle(self, space, simulator, compute_snippet):
+        governor = OndemandGovernor(space, down_threshold=0.3)
+        start = governor.current.opp_index("big")
+        counters = self._counters_with_util(simulator, space, compute_snippet)
+        # Single-threaded workload leaves the 4-core big cluster under-utilised.
+        config = governor.decide(counters)
+        assert config.opp_index("big") <= start
+
+    def test_ondemand_threshold_validation(self, space):
+        with pytest.raises(ValueError):
+            OndemandGovernor(space, up_threshold=0.2, down_threshold=0.5)
+
+    def test_interactive_governor_moves_toward_target(self, space, simulator,
+                                                      parallel_snippet):
+        governor = InteractiveGovernor(space, target_utilization=0.5)
+        counters = self._counters_with_util(simulator, space, parallel_snippet)
+        before = governor.current.opp_index("big")
+        config = governor.decide(counters)
+        assert config.opp_index("big") >= before
+
+    def test_governor_reset(self, space, simulator, compute_snippet):
+        governor = PerformanceGovernor(space)
+        governor.decide(self._counters_with_util(simulator, space, compute_snippet))
+        governor.reset()
+        assert governor.current == space.default_configuration()

@@ -9,22 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import ExperimentScale
-
-#: Scale used by the benchmark harness: larger than the unit-test scale but
-#: still minutes (not hours) end to end.
-BENCH = ExperimentScale(
-    name="bench",
-    train_snippet_factor=0.5,
-    eval_snippet_factor=0.5,
-    sequence_snippet_factor=2.0,
-    offline_epochs=120,
-    buffer_capacity=25,
-    update_epochs=80,
-    rl_offline_episodes=2,
-    gpu_frames=400,
-    nmpc_surface_samples=300,
-)
+from repro.experiments.scales import BENCH, ExperimentScale
 
 
 @pytest.fixture(scope="session")

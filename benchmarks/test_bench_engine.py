@@ -1,0 +1,115 @@
+"""Benchmarks for the unified engine layer: vectorized Oracle sweep.
+
+The vectorized ``evaluate_expected_batch`` sweep must (a) reproduce the
+scalar reference loop bitwise and (b) be at least 5x faster on the
+``FULL``-scale Oracle construction (in practice it is ~10x).  Both are
+asserted here so a regression in either direction fails the benchmark run
+even with ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.objectives import ENERGY
+from repro.core.oracle import OracleCache, build_oracle
+from repro.experiments.scales import FULL
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.platform import odroid_xu3_like
+from repro.soc.simulator import SoCSimulator
+from repro.workloads.generator import SnippetTraceGenerator
+from repro.workloads.suites import training_workloads
+
+#: Acceptance floor for the vectorized sweep (measured ~10x on CI hardware).
+MIN_SPEEDUP = 5.0
+
+
+def _full_scale_snippets():
+    """The FULL-scale offline training trace (every Mi-Bench workload)."""
+    generator = SnippetTraceGenerator(seed=0)
+    snippets = []
+    for workload in training_workloads():
+        snippets.extend(
+            generator.generate(workload.scaled(FULL.train_snippet_factor))
+        )
+    return snippets
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    platform = odroid_xu3_like()
+    space = ConfigurationSpace(platform)
+    simulator = SoCSimulator(platform, noise_scale=0.0, seed=0)
+    snippets = _full_scale_snippets()
+    # Warm the space/simulator lookup tables so timing measures the sweep.
+    build_oracle(simulator, space, snippets[:2], ENERGY)
+    return simulator, space, snippets
+
+
+@pytest.mark.benchmark(group="engine-sweep")
+def test_bench_vectorized_oracle_sweep(benchmark, sweep_setup):
+    """FULL-scale Oracle sweep: vectorized vs scalar, identical and >=5x."""
+    simulator, space, snippets = sweep_setup
+
+    scalar_start = time.perf_counter()
+    scalar_table = build_oracle(simulator, space, snippets, ENERGY,
+                                use_batch=False)
+    scalar_elapsed = time.perf_counter() - scalar_start
+
+    batch_table = benchmark.pedantic(
+        build_oracle, args=(simulator, space, snippets, ENERGY),
+        kwargs={"use_batch": True}, rounds=1, iterations=1,
+    )
+    batch_elapsed = min(
+        _timed(build_oracle, simulator, space, snippets, ENERGY)
+        for _ in range(3)
+    )
+
+    assert scalar_table.entries.keys() == batch_table.entries.keys()
+    for name in scalar_table.entries:
+        scalar_entry = scalar_table.entries[name]
+        batch_entry = batch_table.entries[name]
+        assert scalar_entry.best_configuration == batch_entry.best_configuration
+        assert scalar_entry.best_cost == batch_entry.best_cost
+        assert (scalar_entry.best_result.energy_j
+                == batch_entry.best_result.energy_j)
+
+    speedup = scalar_elapsed / batch_elapsed
+    print(f"\nOracle sweep ({len(snippets)} snippets x {len(space)} configs): "
+          f"scalar={scalar_elapsed:.3f}s vectorized={batch_elapsed:.3f}s "
+          f"speedup={speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="engine-cache")
+def test_bench_oracle_cache_amortizes_resweeps(benchmark, sweep_setup):
+    """A warm OracleCache makes repeated sweeps effectively free."""
+    simulator, space, snippets = sweep_setup
+    cache = OracleCache()
+    build_oracle(simulator, space, snippets, ENERGY, cache=cache)
+
+    cold_elapsed = _timed(build_oracle, simulator, space, snippets, ENERGY)
+    warm_table = benchmark.pedantic(
+        build_oracle, args=(simulator, space, snippets, ENERGY),
+        kwargs={"cache": cache}, rounds=1, iterations=1,
+    )
+    warm_elapsed = min(
+        _timed(build_oracle, simulator, space, snippets, ENERGY, cache=cache)
+        for _ in range(3)
+    )
+
+    assert cache.hits >= len(snippets)
+    assert len(warm_table.entries) == len(
+        {entry.snippet_name for entry in warm_table.entries.values()}
+    )
+    print(f"\nOracle re-sweep: cold={cold_elapsed*1e3:.1f}ms "
+          f"cached={warm_elapsed*1e3:.1f}ms")
+    assert warm_elapsed < cold_elapsed

@@ -7,8 +7,9 @@ ties the analytical models, the policies and the SoC simulator together
 (paper Figure 1).
 """
 
+from repro.core.engine import SimulationEngine, available_engines, engine_class
 from repro.core.objectives import Objective, ENERGY, EDP, PERFORMANCE, PPW
-from repro.core.oracle import OraclePolicy, OracleTable, build_oracle
+from repro.core.oracle import OracleCache, OraclePolicy, OracleTable, build_oracle
 from repro.core.offline_il import OfflineILPolicy, ILDataset, collect_il_dataset
 from repro.core.buffer import AggregationBuffer
 from repro.core.runtime_oracle import RuntimeOracle
@@ -20,6 +21,10 @@ from repro.core.framework import (
 )
 
 __all__ = [
+    "SimulationEngine",
+    "available_engines",
+    "engine_class",
+    "OracleCache",
     "Objective",
     "ENERGY",
     "EDP",

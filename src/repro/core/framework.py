@@ -23,7 +23,7 @@ from repro.control.rl import QLearningController
 from repro.core.objectives import ENERGY, Objective
 from repro.core.offline_il import ILDataset, OfflineILPolicy, collect_il_dataset
 from repro.core.online_il import OnlineILPolicy
-from repro.core.oracle import OraclePolicy, OracleTable, build_oracle
+from repro.core.oracle import OracleCache, OraclePolicy, OracleTable, build_oracle
 from repro.core.runtime_oracle import RuntimeOracle
 from repro.models.performance import CpuPerformanceModel
 from repro.models.power import CpuPowerModel
@@ -179,6 +179,10 @@ class OnlineLearningFramework:
         self._sim_rng, self._workload_rng, self._policy_rng, self._misc_rng = rngs
         self.simulator = SoCSimulator(self.platform, noise_scale=noise_scale,
                                       seed=self._sim_rng)
+        # Oracle construction is deterministic, so entries computed during
+        # offline training are reused verbatim by every later evaluation
+        # instead of re-sweeping the configuration space per call.
+        self.oracle_cache = OracleCache()
         self.trace_generator = SnippetTraceGenerator(seed=self._workload_rng)
         self.offline_policy: Optional[OfflineILPolicy] = None
         self.offline_dataset: Optional[ILDataset] = None
@@ -196,8 +200,9 @@ class OnlineLearningFramework:
         return self.trace_generator.generate(spec)
 
     def build_oracle_for(self, snippets: Sequence[Snippet]) -> OracleTable:
-        """Exhaustive Oracle for a snippet trace (noise-free sweep)."""
-        return build_oracle(self.simulator, self.space, snippets, self.objective)
+        """Exhaustive Oracle for a snippet trace (noise-free, cached sweep)."""
+        return build_oracle(self.simulator, self.space, snippets, self.objective,
+                            cache=self.oracle_cache)
 
     def train_offline(
         self,

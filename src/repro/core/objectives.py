@@ -9,29 +9,54 @@ Oracle picks the configuration minimising the cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.soc.simulator import SnippetResult
+import numpy as np
+
+from repro.soc.simulator import SnippetResult, SoCBatchResult
 
 
 @dataclass(frozen=True)
 class Objective:
-    """A named, lower-is-better cost over snippet execution results."""
+    """A named, lower-is-better cost over snippet execution results.
+
+    ``vector_cost``, when provided, evaluates the cost over a whole
+    :class:`~repro.soc.simulator.SoCBatchResult` in one array operation; the
+    built-in objectives all define it, which is what lets the Oracle sweep
+    run vectorized.  Objectives without a vector form still work everywhere —
+    :meth:`batch_cost` falls back to materialising per-configuration results.
+    """
 
     name: str
     cost: Callable[[SnippetResult], float]
     description: str = ""
+    vector_cost: Optional[Callable[[SoCBatchResult], np.ndarray]] = None
 
     def __call__(self, result: SnippetResult) -> float:
         return float(self.cost(result))
+
+    def batch_cost(self, batch: SoCBatchResult) -> np.ndarray:
+        """Cost of every configuration in a batch sweep (lower is better)."""
+        if self.vector_cost is not None:
+            return np.asarray(self.vector_cost(batch), dtype=float)
+        return np.array([self(batch.result_at(i)) for i in range(len(batch))],
+                        dtype=float)
 
 
 def _energy(result: SnippetResult) -> float:
     return result.energy_j
 
 
+def _energy_vec(batch: SoCBatchResult) -> np.ndarray:
+    return batch.energy_j
+
+
 def _edp(result: SnippetResult) -> float:
     return result.energy_delay_product
+
+
+def _edp_vec(batch: SoCBatchResult) -> np.ndarray:
+    return batch.energy_delay_product
 
 
 def _performance(result: SnippetResult) -> float:
@@ -39,21 +64,31 @@ def _performance(result: SnippetResult) -> float:
     return result.execution_time_s
 
 
+def _performance_vec(batch: SoCBatchResult) -> np.ndarray:
+    return batch.execution_time_s
+
+
 def _negative_ppw(result: SnippetResult) -> float:
     return -result.performance_per_watt
 
 
+def _negative_ppw_vec(batch: SoCBatchResult) -> np.ndarray:
+    return -(batch.performance_ips / np.maximum(batch.average_power_w, 1e-9))
+
+
 #: Minimise total energy consumption (the objective of Table II / Figs. 3-4).
-ENERGY = Objective("energy", _energy, "Total energy consumption (J)")
+ENERGY = Objective("energy", _energy, "Total energy consumption (J)", _energy_vec)
 
 #: Minimise the energy-delay product.
-EDP = Objective("edp", _edp, "Energy-delay product (J*s)")
+EDP = Objective("edp", _edp, "Energy-delay product (J*s)", _edp_vec)
 
 #: Minimise execution time (maximise performance).
-PERFORMANCE = Objective("performance", _performance, "Execution time (s)")
+PERFORMANCE = Objective("performance", _performance, "Execution time (s)",
+                        _performance_vec)
 
 #: Maximise performance-per-watt (instructions per second per watt).
-PPW = Objective("ppw", _negative_ppw, "Negative performance-per-watt")
+PPW = Objective("ppw", _negative_ppw, "Negative performance-per-watt",
+                _negative_ppw_vec)
 
 ALL_OBJECTIVES = {obj.name: obj for obj in (ENERGY, EDP, PERFORMANCE, PPW)}
 

@@ -16,7 +16,9 @@ label the offline IL training data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.control.policy import DRMPolicy
 from repro.core.objectives import ENERGY, Objective
@@ -89,39 +91,157 @@ class OraclePolicy(DRMPolicy):
         return self.current
 
 
+#: Cache key types (content-derived, never identity-derived).
+SnippetKey = Tuple[str, int, float, Tuple[Tuple[str, float], ...]]
+SpaceKey = Tuple
+
+
+def snippet_cache_key(snippet: Snippet) -> SnippetKey:
+    """Content key for a snippet (two equal snippets share Oracle entries)."""
+    return (
+        snippet.application,
+        snippet.index,
+        snippet.n_instructions,
+        tuple(sorted(snippet.characteristics.as_dict().items())),
+    )
+
+
+def space_cache_key(space: ConfigurationSpace) -> SpaceKey:
+    """Content key for a configuration space (platform params + exact configs)."""
+    return space.cache_key()
+
+
+def objective_cache_key(objective: Objective) -> Tuple[str, object]:
+    """Key for an objective: its name plus the cost callable itself, so a
+    custom objective reusing a built-in name never shares entries with it."""
+    return (objective.name, objective.cost)
+
+
+class OracleCache:
+    """Memo of Oracle entries keyed by (snippet, space, objective).
+
+    Oracle construction is deterministic (noise-free), so an entry computed
+    once for a snippet is valid for every later sweep over the same space
+    and objective.  The framework attaches one cache per simulator instance;
+    ``train_offline``, ``_bootstrap_models`` and
+    ``evaluate_policy_on_snippets`` then stop re-sweeping snippets they have
+    already solved.  Keys are derived from content, never object identity,
+    so regenerated-but-identical snippets still hit.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, OracleEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, snippet: Snippet, space: ConfigurationSpace,
+               objective: Objective) -> Optional[OracleEntry]:
+        key = (snippet_cache_key(snippet), space_cache_key(space),
+               objective_cache_key(objective))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, snippet: Snippet, space: ConfigurationSpace,
+              objective: Objective, entry: OracleEntry) -> OracleEntry:
+        key = (snippet_cache_key(snippet), space_cache_key(space),
+               objective_cache_key(objective))
+        self._entries[key] = entry
+        return entry
+
+    def invalidate_snippet(self, snippet: Snippet) -> int:
+        """Drop every entry for ``snippet`` (all spaces/objectives); return count."""
+        target = snippet_cache_key(snippet)
+        stale = [key for key in self._entries if key[0] == target]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def _best_entry(
+    simulator: SoCSimulator,
+    space: ConfigurationSpace,
+    snippet: Snippet,
+    objective: Objective,
+    use_batch: bool,
+) -> OracleEntry:
+    """Sweep one snippet over the space and return its minimising entry."""
+    if use_batch and hasattr(simulator, "evaluate_expected_batch"):
+        batch = simulator.evaluate_expected_batch(snippet, space)
+        costs = objective.batch_cost(batch)
+        # np.argmin returns the first minimum, matching the scalar loop's
+        # strict `cost < best_cost` tie-breaking.
+        best_index = int(np.argmin(costs))
+        return OracleEntry(
+            snippet_name=snippet.name,
+            best_configuration=batch.configurations[best_index],
+            best_cost=float(costs[best_index]),
+            best_result=batch.result_at(best_index),
+        )
+    best_config: Optional[SoCConfiguration] = None
+    best_cost = float("inf")
+    best_result: Optional[SnippetResult] = None
+    for config in space:
+        result = simulator.evaluate_expected(snippet, config)
+        cost = objective(result)
+        if cost < best_cost:
+            best_cost = cost
+            best_config = config
+            best_result = result
+    assert best_config is not None and best_result is not None
+    return OracleEntry(
+        snippet_name=snippet.name,
+        best_configuration=best_config,
+        best_cost=best_cost,
+        best_result=best_result,
+    )
+
+
 def build_oracle(
     simulator: SoCSimulator,
     space: ConfigurationSpace,
     snippets: Iterable[Snippet],
     objective: Objective = ENERGY,
+    cache: Optional[OracleCache] = None,
+    use_batch: bool = True,
 ) -> OracleTable:
     """Exhaustively construct the Oracle table for ``snippets``.
 
     Every snippet is evaluated (noise-free) at every configuration of the
     space; the minimising configuration is stored.  The sweep scales as
-    ``len(snippets) * len(space)`` — cheap in simulation, but this is exactly
-    the "high computational complexity" that makes Oracle construction
-    impossible at runtime on real hardware.
+    ``len(snippets) * len(space)`` — this is exactly the "high computational
+    complexity" that makes Oracle construction impossible at runtime on real
+    hardware, so the sweep runs through the simulator's vectorized
+    ``evaluate_expected_batch`` engine method whenever available
+    (``use_batch=False`` forces the scalar reference loop; both produce
+    bitwise-identical tables).  Passing an :class:`OracleCache` skips
+    snippets whose entries were already computed for this space/objective.
     """
     table = OracleTable(objective_name=objective.name)
     for snippet in snippets:
-        best_config: Optional[SoCConfiguration] = None
-        best_cost = float("inf")
-        best_result: Optional[SnippetResult] = None
-        for config in space:
-            result = simulator.evaluate_expected(snippet, config)
-            cost = objective(result)
-            if cost < best_cost:
-                best_cost = cost
-                best_config = config
-                best_result = result
-        assert best_config is not None and best_result is not None
-        table.entries[snippet.name] = OracleEntry(
-            snippet_name=snippet.name,
-            best_configuration=best_config,
-            best_cost=best_cost,
-            best_result=best_result,
-        )
+        entry = (cache.lookup(snippet, space, objective)
+                 if cache is not None else None)
+        if entry is None:
+            entry = _best_entry(simulator, space, snippet, objective, use_batch)
+            if cache is not None:
+                cache.store(snippet, space, objective, entry)
+        table.entries[snippet.name] = entry
     return table
 
 

@@ -6,7 +6,17 @@ text table.  The benchmark harness under ``benchmarks/`` calls these drivers;
 ``examples/`` show smaller interactive versions.
 """
 
-from repro.experiments.common import ExperimentScale, QUICK, FULL, OnlineAdaptationStudy
+from repro.experiments.scales import (
+    ExperimentScale,
+    TINY,
+    QUICK,
+    BENCH,
+    FULL,
+    available_scales,
+    get_scale,
+    register_scale,
+)
+from repro.experiments.common import OnlineAdaptationStudy
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.table2 import run_table2, format_table2, Table2Result
 from repro.experiments.figure2 import run_figure2, format_figure2, Figure2Result
@@ -20,11 +30,30 @@ from repro.experiments.ablations import (
     run_config_space_ablation,
     run_noc_model_comparison,
 )
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ExperimentRun,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
 
 __all__ = [
     "ExperimentScale",
+    "TINY",
     "QUICK",
+    "BENCH",
     "FULL",
+    "available_scales",
+    "get_scale",
+    "register_scale",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ExperimentRun",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
     "OnlineAdaptationStudy",
     "run_table1",
     "format_table1",

@@ -1,0 +1,16 @@
+"""``python -m repro.experiments`` — run the paper's experiments from the CLI.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table2 --scale quick
+    python -m repro.experiments figure3 figure4 --scale bench --seeds 3
+    python -m repro.experiments --tag ablation --scale tiny
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

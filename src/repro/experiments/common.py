@@ -1,12 +1,10 @@
-"""Shared experiment infrastructure: scale presets and the adaptation study.
+"""Shared experiment infrastructure: the online adaptation study.
 
-``ExperimentScale`` controls how long the synthetic traces are and how much
-offline training is performed, so the same experiment code serves both the
-fast unit/benchmark runs (``QUICK``) and the full reproduction (``FULL``).
-``OnlineAdaptationStudy`` performs the shared heavy lifting behind Figures 3
-and 4: train the IL and RL policies offline on Mi-Bench, then adapt both
-online over a Cortex+PARSEC application sequence while tracking accuracy and
-energy against the Oracle.
+Scale presets live in :mod:`repro.experiments.scales` (re-exported here for
+backwards compatibility).  ``OnlineAdaptationStudy`` performs the shared
+heavy lifting behind Figures 3 and 4: train the IL and RL policies offline on
+Mi-Bench, then adapt both online over a Cortex+PARSEC application sequence
+while tracking accuracy and energy against the Oracle.
 """
 
 from __future__ import annotations
@@ -19,63 +17,19 @@ import numpy as np
 from repro.control.rl import QLearningController
 from repro.core.framework import OnlineLearningFramework, PolicyRunResult
 from repro.core.online_il import OnlineILPolicy
+from repro.experiments.scales import (  # noqa: F401  (re-exported)
+    BENCH,
+    FULL,
+    QUICK,
+    TINY,
+    ExperimentScale,
+)
 from repro.utils.rng import SeedLike
 from repro.workloads.sequences import ApplicationSequence, build_online_sequence
 from repro.workloads.suites import (
     figure4_workloads,
     training_workloads,
     unseen_workloads,
-)
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Knobs controlling experiment runtime vs fidelity."""
-
-    name: str
-    train_snippet_factor: float = 0.5
-    eval_snippet_factor: float = 0.5
-    sequence_snippet_factor: float = 2.0
-    offline_epochs: int = 120
-    buffer_capacity: int = 25
-    update_epochs: int = 80
-    rl_offline_episodes: int = 2
-    gpu_frames: int = 300
-    nmpc_surface_samples: int = 250
-
-    def __post_init__(self) -> None:
-        for attr in ("train_snippet_factor", "eval_snippet_factor",
-                     "sequence_snippet_factor"):
-            if getattr(self, attr) <= 0:
-                raise ValueError(f"{attr} must be positive")
-
-
-#: Fast preset used by unit tests and smoke runs (tens of seconds end to end).
-QUICK = ExperimentScale(
-    name="quick",
-    train_snippet_factor=0.25,
-    eval_snippet_factor=0.25,
-    sequence_snippet_factor=1.0,
-    offline_epochs=60,
-    buffer_capacity=15,
-    update_epochs=60,
-    rl_offline_episodes=1,
-    gpu_frames=150,
-    nmpc_surface_samples=150,
-)
-
-#: Full preset used by the benchmark harness (minutes end to end).
-FULL = ExperimentScale(
-    name="full",
-    train_snippet_factor=1.0,
-    eval_snippet_factor=1.0,
-    sequence_snippet_factor=4.0,
-    offline_epochs=150,
-    buffer_capacity=50,
-    update_epochs=80,
-    rl_offline_episodes=3,
-    gpu_frames=600,
-    nmpc_surface_samples=400,
 )
 
 
@@ -103,16 +57,27 @@ class OnlineAdaptationStudy:
     oracle_offline_per_app: Dict[str, float] = field(default_factory=dict)
 
     def online_per_app_normalized(self, run: PolicyRunResult) -> Dict[str, float]:
-        """Per-application energy of an online run normalised to the Oracle."""
+        """Per-application energy of an online run normalised to the Oracle.
+
+        Records whose snippet was missing from the Oracle table carry no
+        ``oracle_energy_j`` value; those snippets are excluded from the
+        denominator, and applications with no Oracle energy at all are
+        dropped from the result rather than producing NaN/None arithmetic.
+        """
         per_app: Dict[str, float] = {}
         oracle_per_app: Dict[str, float] = {}
         for record, result in zip(run.log, run.results):
             app = result.snippet.application
+            oracle_energy = record.get("oracle_energy_j")
+            if oracle_energy is None or not np.isfinite(oracle_energy):
+                continue
             per_app[app] = per_app.get(app, 0.0) + result.energy_j
-            oracle_per_app[app] = (
-                oracle_per_app.get(app, 0.0) + record.get("oracle_energy_j")
-            )
-        return {app: per_app[app] / oracle_per_app[app] for app in per_app}
+            oracle_per_app[app] = oracle_per_app.get(app, 0.0) + oracle_energy
+        return {
+            app: per_app[app] / oracle_per_app[app]
+            for app in per_app
+            if oracle_per_app.get(app, 0.0) > 0.0
+        }
 
 
 def run_online_adaptation_study(

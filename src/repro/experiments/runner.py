@@ -1,0 +1,368 @@
+"""Config-driven experiment runner and scenario registry.
+
+Every figure/table driver in :mod:`repro.experiments` (plus the ablations)
+is registered here as an :class:`ExperimentSpec` — a name, a description, a
+``(scale, seed, context)`` runner callable and a formatter.  The
+:class:`ExperimentRunner` executes any registered experiment at any
+registered scale with multi-seed fan-out, replacing the copy-pasted
+orchestration that previously lived in each ``figure*.py``/``table*.py``
+call site, and backs the ``python -m repro.experiments`` CLI.
+
+Figure 3 and Figure 4 share the expensive online-adaptation study; the
+runner computes it once per ``(scale, seed)`` and hands it to both drivers
+through the shared context, exactly like the test and benchmark fixtures do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    OnlineAdaptationStudy,
+    run_online_adaptation_study,
+)
+from repro.experiments.scales import (
+    ExperimentScale,
+    ScaleLike,
+    available_scales,
+    get_scale,
+)
+from repro.utils.rng import SeedLike
+
+#: Signature of a registered experiment driver.
+ExperimentRunnerFn = Callable[[ExperimentScale, SeedLike, "ExperimentContext"], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: how to run it and how to render it."""
+
+    name: str
+    description: str
+    runner: ExperimentRunnerFn
+    formatter: Optional[Callable[[Any], str]] = None
+    tags: Tuple[str, ...] = ()
+
+    def format_result(self, result: Any) -> str:
+        if self.formatter is not None:
+            return self.formatter(result)
+        if isinstance(result, (list, tuple)):
+            return "\n".join(repr(row) for row in result)
+        return repr(result)
+
+
+_EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(
+    name: str,
+    description: str,
+    runner: ExperimentRunnerFn,
+    formatter: Optional[Callable[[Any], str]] = None,
+    tags: Sequence[str] = (),
+    overwrite: bool = False,
+) -> ExperimentSpec:
+    """Add an experiment to the registry (resolvable by name)."""
+    if name in _EXPERIMENT_REGISTRY and not overwrite:
+        raise ValueError(f"experiment {name!r} is already registered")
+    spec = ExperimentSpec(
+        name=name,
+        description=description,
+        runner=runner,
+        formatter=formatter,
+        tags=tuple(tags),
+    )
+    _EXPERIMENT_REGISTRY[name] = spec
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve an experiment by name."""
+    if name not in _EXPERIMENT_REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        )
+    return _EXPERIMENT_REGISTRY[name]
+
+
+def available_experiments(tag: Optional[str] = None) -> List[str]:
+    """Names of registered experiments, optionally filtered by tag."""
+    names = [
+        name for name, spec in _EXPERIMENT_REGISTRY.items()
+        if tag is None or tag in spec.tags
+    ]
+    return sorted(names)
+
+
+class ExperimentContext:
+    """Shared state handed to every experiment runner.
+
+    Memoises the online-adaptation study per ``(scale, seed)`` so that
+    Figure 3 and Figure 4 — which consume the same study — train the
+    policies once instead of twice per run.
+    """
+
+    def __init__(self) -> None:
+        self._studies: Dict[Tuple[ExperimentScale, Any], OnlineAdaptationStudy] = {}
+
+    def adaptation_study(self, scale: ExperimentScale,
+                         seed: SeedLike) -> OnlineAdaptationStudy:
+        # Key on the (frozen, hashable) scale object itself — a custom scale
+        # that happens to share a preset's name must not reuse its study.
+        # Non-int seeds (None / Generator) are keyed by identity so that
+        # figure3 and figure4 still share one study per context.
+        seed_key = seed if isinstance(seed, int) else id(seed)
+        key = (scale, seed_key)
+        if key not in self._studies:
+            self._studies[key] = run_online_adaptation_study(
+                scale, seed=seed, include_offline_apps=True
+            )
+        return self._studies[key]
+
+
+@dataclass
+class SeedRun:
+    """Result of one experiment at one seed."""
+
+    seed: SeedLike
+    result: Any
+    elapsed_s: float
+
+
+@dataclass
+class ExperimentRun:
+    """Fan-out result of one experiment across one or more seeds."""
+
+    spec: ExperimentSpec
+    scale: ExperimentScale
+    seed_runs: List[SeedRun] = field(default_factory=list)
+
+    @property
+    def results(self) -> List[Any]:
+        return [run.result for run in self.seed_runs]
+
+    @property
+    def seeds(self) -> List[SeedLike]:
+        return [run.seed for run in self.seed_runs]
+
+    @property
+    def total_elapsed_s(self) -> float:
+        return sum(run.elapsed_s for run in self.seed_runs)
+
+    def format(self) -> str:
+        """Human-readable report: one formatted block per seed."""
+        blocks = [
+            f"=== {self.spec.name} [scale={self.scale.name}] — "
+            f"{self.spec.description} ==="
+        ]
+        for run in self.seed_runs:
+            blocks.append(f"--- seed={run.seed} ({run.elapsed_s:.1f}s) ---")
+            blocks.append(self.spec.format_result(run.result))
+        return "\n".join(blocks)
+
+
+class ExperimentRunner:
+    """Executes registered experiments at a given scale with seed fan-out."""
+
+    def __init__(self, scale: ScaleLike = "quick",
+                 seeds: Sequence[SeedLike] = (0,)) -> None:
+        self.scale = get_scale(scale)
+        self.seeds: List[SeedLike] = list(seeds)
+        if not self.seeds:
+            raise ValueError("ExperimentRunner needs at least one seed")
+        self.context = ExperimentContext()
+
+    def run(self, name: str, scale: Optional[ScaleLike] = None,
+            seeds: Optional[Sequence[SeedLike]] = None) -> ExperimentRun:
+        """Run one registered experiment across the seed fan-out."""
+        spec = get_experiment(name)
+        run_scale = get_scale(scale) if scale is not None else self.scale
+        run_seeds = list(seeds) if seeds is not None else self.seeds
+        if not run_seeds:
+            raise ValueError("run() needs at least one seed")
+        out = ExperimentRun(spec=spec, scale=run_scale)
+        for seed in run_seeds:
+            start = time.perf_counter()
+            result = spec.runner(run_scale, seed, self.context)
+            out.seed_runs.append(
+                SeedRun(seed=seed, result=result,
+                        elapsed_s=time.perf_counter() - start)
+            )
+        return out
+
+    def run_many(self, names: Optional[Sequence[str]] = None,
+                 tag: Optional[str] = None) -> Dict[str, ExperimentRun]:
+        """Run several experiments (default: every registered one)."""
+        targets = list(names) if names is not None else available_experiments(tag)
+        return {name: self.run(name) for name in targets}
+
+
+# --------------------------------------------------------------------- #
+# Built-in registrations: the paper's figures/tables plus the ablations.
+# --------------------------------------------------------------------- #
+def _seed_int(seed: SeedLike) -> int:
+    return seed if isinstance(seed, int) else 0
+
+
+def _register_builtins() -> None:
+    from repro.experiments.ablations import (
+        run_buffer_size_ablation,
+        run_config_space_ablation,
+        run_explicit_nmpc_ablation,
+        run_forgetting_factor_ablation,
+        run_noc_model_comparison,
+    )
+    from repro.experiments.figure2 import format_figure2, run_figure2
+    from repro.experiments.figure3 import format_figure3, run_figure3
+    from repro.experiments.figure4 import format_figure4, run_figure4
+    from repro.experiments.figure5 import format_figure5, run_figure5
+    from repro.experiments.table1 import format_table1, run_table1
+    from repro.experiments.table2 import format_table2, run_table2
+
+    register_experiment(
+        "table1", "Table I — per-snippet performance-counter schema",
+        lambda scale, seed, ctx: run_table1(seed=_seed_int(seed)),
+        formatter=format_table1, tags=("paper", "table"),
+    )
+    register_experiment(
+        "table2", "Table II — offline IL generalisation across suites",
+        lambda scale, seed, ctx: run_table2(scale, seed=seed),
+        formatter=format_table2, tags=("paper", "table"),
+    )
+    register_experiment(
+        "figure2", "Figure 2 — online RLS frame-time prediction (Nenamark2)",
+        lambda scale, seed, ctx: run_figure2(scale, seed=seed),
+        formatter=format_figure2, tags=("paper", "figure"),
+    )
+    register_experiment(
+        "figure3", "Figure 3 — online-IL vs RL convergence to the Oracle",
+        lambda scale, seed, ctx: run_figure3(
+            scale, seed=seed, study=ctx.adaptation_study(scale, seed)
+        ),
+        formatter=format_figure3, tags=("paper", "figure"),
+    )
+    register_experiment(
+        "figure4", "Figure 4 — per-application energy normalised to Oracle",
+        lambda scale, seed, ctx: run_figure4(
+            scale, seed=seed, study=ctx.adaptation_study(scale, seed)
+        ),
+        formatter=format_figure4, tags=("paper", "figure"),
+    )
+    register_experiment(
+        "figure5", "Figure 5 — explicit-NMPC GPU energy savings vs baseline",
+        lambda scale, seed, ctx: run_figure5(scale, seed=seed),
+        formatter=format_figure5, tags=("paper", "figure"),
+    )
+    register_experiment(
+        "ablation-buffer", "Online-IL adaptation vs aggregation-buffer size",
+        lambda scale, seed, ctx: run_buffer_size_ablation(scale=scale, seed=seed),
+        tags=("ablation",),
+    )
+    register_experiment(
+        "ablation-forgetting", "Frame-time model error vs RLS forgetting factor",
+        lambda scale, seed, ctx: run_forgetting_factor_ablation(scale=scale,
+                                                               seed=seed),
+        tags=("ablation",),
+    )
+    register_experiment(
+        "ablation-enmpc", "Explicit-NMPC surface fidelity vs approximator",
+        lambda scale, seed, ctx: run_explicit_nmpc_ablation(scale=scale, seed=seed),
+        tags=("ablation",),
+    )
+    register_experiment(
+        "ablation-config-space", "Offline-IL generalisation vs space richness",
+        lambda scale, seed, ctx: run_config_space_ablation(scale=scale, seed=seed),
+        tags=("ablation",),
+    )
+    register_experiment(
+        "ablation-noc", "Analytical vs SVR NoC latency model accuracy",
+        lambda scale, seed, ctx: run_noc_model_comparison(seed=seed),
+        tags=("ablation",),
+    )
+
+
+_register_builtins()
+
+
+# --------------------------------------------------------------------- #
+# CLI: python -m repro.experiments
+# --------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments through the unified runner.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment names (default: every paper figure/table); "
+             "use --list to see what is available",
+    )
+    parser.add_argument(
+        "--scale", default="quick", metavar="|".join(available_scales()),
+        help="scale preset controlling trace length and training budget "
+             "(default: quick)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="number of seeds to fan out over (seeds base..base+N-1, default 1)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, metavar="S",
+        help="first seed of the fan-out (default 0)",
+    )
+    parser.add_argument(
+        "--tag", default=None,
+        help="when no experiment names are given, run all with this tag "
+             "(e.g. 'paper', 'ablation')",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list registered experiments and scales, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.experiments``."""
+    args = _build_parser().parse_args(argv)
+    if args.list_experiments:
+        print("Registered experiments:")
+        for name in available_experiments():
+            spec = get_experiment(name)
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"  {name:22s} {spec.description}{tags}")
+        print(f"Scales: {', '.join(available_scales())}")
+        return 0
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.seed_base < 0:
+        print("error: --seed-base must be >= 0 (NumPy seeds are non-negative)",
+              file=sys.stderr)
+        return 2
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    try:
+        runner = ExperimentRunner(scale=args.scale, seeds=seeds)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = args.experiments or available_experiments(args.tag or "paper")
+    if not names:
+        print(f"error: no experiments match tag {args.tag!r}; "
+              f"available: {available_experiments()}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name in names:
+        try:
+            run = runner.run(name)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = 2
+            continue
+        print(run.format())
+        print()
+    return exit_code

@@ -10,7 +10,7 @@ performance overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -87,6 +87,9 @@ class GPURunSummary:
 class GPUSimulator:
     """Renders frame traces under a pluggable power-management controller."""
 
+    #: :class:`~repro.core.engine.SimulationEngine` identifier.
+    engine_name = "gpu"
+
     def __init__(self, gpu: GPUSpec, noise_scale: float = 0.01,
                  seed: SeedLike = None) -> None:
         if noise_scale < 0:
@@ -151,3 +154,15 @@ class GPUSimulator:
                                        deterministic=deterministic)
             summary.frame_results.append(result)
         return summary
+
+    def evaluate_batch(self, trace: FrameTrace,
+                       configurations: Sequence[GPUConfiguration]
+                       ) -> List[GPURunSummary]:
+        """Deterministically sweep one frame trace across many configurations.
+
+        :class:`~repro.core.engine.SimulationEngine` batch entry point: each
+        configuration renders the full trace noise-free, so the summaries are
+        directly comparable (the GPU analogue of the SoC Oracle sweep).
+        """
+        return [self.run_fixed(trace, config, deterministic=True)
+                for config in configurations]

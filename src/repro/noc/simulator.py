@@ -11,9 +11,10 @@ parameter sweeps inside unit tests and benchmarks.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,10 +64,32 @@ class NoCSimulationResult:
 class NoCSimulator:
     """Event-driven simulator over the per-link FIFO abstraction."""
 
+    #: :class:`~repro.core.engine.SimulationEngine` identifier.
+    engine_name = "noc"
+
     def __init__(self, topology: MeshTopology,
                  router: Optional[RouterConfig] = None) -> None:
         self.topology = topology
         self.router = router or RouterConfig()
+
+    def evaluate_batch(self, traffic: TrafficPattern,
+                       configurations: Sequence[RouterConfig],
+                       n_cycles: int = 300) -> List[NoCSimulationResult]:
+        """Simulate one traffic pattern under many router configurations.
+
+        :class:`~repro.core.engine.SimulationEngine` batch entry point.  The
+        packet trace is generated once and replayed (deep-copied, since the
+        simulator mutates packet timing fields) against each router
+        configuration, so every result sees identical offered traffic.
+        """
+        packets = traffic.generate(n_cycles)
+        results: List[NoCSimulationResult] = []
+        for router in configurations:
+            replica = NoCSimulator(self.topology, router)
+            results.append(
+                replica.run_packets(copy.deepcopy(packets), n_cycles)
+            )
+        return results
 
     def run(self, traffic: TrafficPattern, n_cycles: int,
             drain: bool = True, max_drain_cycles: int = 100000) -> NoCSimulationResult:

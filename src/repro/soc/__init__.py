@@ -15,7 +15,7 @@ from repro.soc.platform import PlatformSpec, odroid_xu3_like, generic_big_little
 from repro.soc.configuration import SoCConfiguration, ConfigurationSpace
 from repro.soc.counters import PerformanceCounters, COUNTER_NAMES
 from repro.soc.snippet import Snippet, SnippetCharacteristics
-from repro.soc.simulator import SoCSimulator, SnippetResult
+from repro.soc.simulator import SoCBatchResult, SoCSimulator, SnippetResult
 from repro.soc.energy import EnergyAccount
 from repro.soc.governors import (
     Governor,
@@ -39,6 +39,7 @@ __all__ = [
     "Snippet",
     "SnippetCharacteristics",
     "SoCSimulator",
+    "SoCBatchResult",
     "SnippetResult",
     "EnergyAccount",
     "Governor",

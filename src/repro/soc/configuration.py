@@ -102,6 +102,8 @@ class ConfigurationSpace:
         self._index: Dict[SoCConfiguration, int] = {
             cfg: i for i, cfg in enumerate(self._configs)
         }
+        self._batch_arrays: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        self._cache_key: Optional[Tuple] = None
 
     def _enumerate(self) -> List[SoCConfiguration]:
         opp_ranges = []
@@ -200,3 +202,54 @@ class ConfigurationSpace:
     def config_feature_matrix(self) -> np.ndarray:
         """Numeric encoding of every configuration (for surface models)."""
         return np.vstack([cfg.as_vector(self.cluster_order) for cfg in self._configs])
+
+    def batch_index_arrays(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Per-cluster ``(opp_index, active_cores)`` arrays over the space.
+
+        Used by the vectorized engine sweep
+        (:meth:`~repro.soc.simulator.SoCSimulator.evaluate_expected_batch`);
+        the space is immutable after construction, so the arrays are built
+        once and cached.
+        """
+        if self._batch_arrays is None:
+            n = len(self._configs)
+            arrays: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+            for name in self.cluster_order:
+                opp = np.fromiter((c.opp_index(name) for c in self._configs),
+                                  dtype=np.intp, count=n)
+                active = np.fromiter((c.cores(name) for c in self._configs),
+                                     dtype=np.intp, count=n)
+                arrays[name] = (opp, active)
+            self._batch_arrays = arrays
+        return self._batch_arrays
+
+    def cache_key(self) -> Tuple:
+        """Content-derived key identifying this space (for Oracle caches).
+
+        Includes every platform parameter that feeds the simulator's power
+        and performance models, so two same-named platforms with different
+        OPP tables or coefficients never share cache entries.
+        """
+        if self._cache_key is None:
+            clusters = []
+            for name in self.cluster_order:
+                spec = self.platform.clusters[name]
+                clusters.append((
+                    name,
+                    spec.n_cores,
+                    spec.ipc_peak,
+                    spec.capacitance_eff_f,
+                    spec.leakage_w_per_v,
+                    spec.base_cpi,
+                    spec.branch_penalty_cycles,
+                    spec.l2_miss_penalty_ns,
+                    tuple((opp.frequency_hz, opp.voltage_v) for opp in spec.opps),
+                ))
+            self._cache_key = (
+                self.platform.name,
+                self.platform.memory_power_w_per_gbps,
+                self.platform.base_power_w,
+                tuple(clusters),
+                tuple(self._configs),
+            )
+        return self._cache_key

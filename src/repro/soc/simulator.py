@@ -30,7 +30,7 @@ from counters, which makes the learning problem realistic but solvable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -77,8 +77,83 @@ class SnippetResult:
         return self.energy_j * self.execution_time_s
 
 
+@dataclass
+class SoCBatchResult:
+    """Struct-of-arrays outcome of one snippet swept across many configurations.
+
+    Produced by :meth:`SoCSimulator.evaluate_expected_batch`; every array has
+    one element per configuration, in the order of :attr:`configurations`.
+    Values are bitwise identical to what per-configuration
+    :meth:`SoCSimulator.evaluate_expected` calls would produce;
+    :meth:`result_at` materialises the full :class:`SnippetResult` for one
+    index on demand (the sweep itself never pays the per-object cost).
+    """
+
+    snippet: Snippet
+    configurations: List[SoCConfiguration]
+    execution_time_s: np.ndarray
+    energy_j: np.ndarray
+    average_power_w: np.ndarray
+    cpu_cycles: np.ndarray
+    cluster_utilization: Dict[str, np.ndarray]
+    power_breakdown_w: Dict[str, np.ndarray]
+    instructions_retired: float
+    branch_mispredictions: float
+    l2_cache_misses: float
+    data_memory_accesses: float
+    noncache_external_memory_requests: float
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    @property
+    def performance_ips(self) -> np.ndarray:
+        """Instructions per second achieved at each configuration."""
+        return self.snippet.n_instructions / self.execution_time_s
+
+    @property
+    def energy_delay_product(self) -> np.ndarray:
+        return self.energy_j * self.execution_time_s
+
+    def _cluster_utilization_at(self, name: str, index: int) -> float:
+        if name not in self.cluster_utilization:
+            return 0.0
+        return float(self.cluster_utilization[name][index])
+
+    def result_at(self, index: int) -> SnippetResult:
+        """Materialise the full :class:`SnippetResult` for one configuration."""
+        i = int(index)
+        counters = PerformanceCounters(
+            instructions_retired=self.instructions_retired,
+            cpu_cycles=float(self.cpu_cycles[i]),
+            branch_mispredictions=self.branch_mispredictions,
+            l2_cache_misses=self.l2_cache_misses,
+            data_memory_accesses=self.data_memory_accesses,
+            noncache_external_memory_requests=self.noncache_external_memory_requests,
+            little_cluster_utilization=self._cluster_utilization_at("little", i),
+            big_cluster_utilization=self._cluster_utilization_at("big", i),
+            total_chip_power_w=float(self.average_power_w[i]),
+            execution_time_s=float(self.execution_time_s[i]),
+        )
+        return SnippetResult(
+            snippet=self.snippet,
+            configuration=self.configurations[i],
+            execution_time_s=float(self.execution_time_s[i]),
+            energy_j=float(self.energy_j[i]),
+            average_power_w=float(self.average_power_w[i]),
+            counters=counters,
+            power_breakdown_w={k: float(v[i]) for k, v in self.power_breakdown_w.items()},
+        )
+
+    def __getitem__(self, index: int) -> SnippetResult:
+        return self.result_at(index)
+
+
 class SoCSimulator:
     """Counter-driven simulator of a heterogeneous big.LITTLE SoC."""
+
+    #: :class:`~repro.core.engine.SimulationEngine` identifier.
+    engine_name = "soc"
 
     def __init__(
         self,
@@ -91,6 +166,9 @@ class SoCSimulator:
         self.platform = platform
         self.noise_scale = float(noise_scale)
         self.rng = make_rng(seed)
+        # Snippet-independent per-OPP tables used by the vectorized sweep,
+        # built lazily per cluster (the platform is fixed at construction).
+        self._sweep_tables: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Cluster-level helpers
@@ -140,6 +218,30 @@ class SoCSimulator:
             "cycles": cycles,
             "instructions": instructions,
         }
+
+    def _cluster_sweep_tables(self, cluster_name: str) -> tuple:
+        """Cached per-OPP arrays for one cluster (vectorized-sweep inputs).
+
+        Returns ``(frequency_hz, frequency_ghz, dynamic_coeff, static_coeff)``
+        where the power coefficients are the snippet-independent prefixes of
+        :meth:`ClusterSpec.dynamic_power_w` / ``static_power_w``, computed
+        with the same scalar arithmetic (and therefore the same rounding).
+        """
+        tables = self._sweep_tables.get(cluster_name)
+        if tables is None:
+            spec = self.platform.cluster(cluster_name)
+            frequency_hz = np.array([opp.frequency_hz for opp in spec.opps])
+            frequency_ghz = frequency_hz / 1e9
+            dynamic_coeff = np.array([
+                spec.capacitance_eff_f * opp.voltage_v**2 * opp.frequency_hz
+                for opp in spec.opps
+            ])
+            static_coeff = np.array([
+                spec.leakage_w_per_v * opp.voltage_v for opp in spec.opps
+            ])
+            tables = (frequency_hz, frequency_ghz, dynamic_coeff, static_coeff)
+            self._sweep_tables[cluster_name] = tables
+        return tables
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -239,6 +341,153 @@ class SoCSimulator:
         """Noise-free evaluation used for Oracle construction and analysis."""
         return self.run_snippet(snippet, config, deterministic=True)
 
+    def evaluate_expected_batch(
+        self, snippet: Snippet, configurations: Iterable[SoCConfiguration]
+    ) -> SoCBatchResult:
+        """Noise-free evaluation of one snippet across many configurations.
+
+        This is the vectorized twin of :meth:`evaluate_expected`: the whole
+        configuration sweep is computed with NumPy array operations instead
+        of one :meth:`run_snippet` call per configuration, which is what
+        makes exhaustive Oracle construction fast.
+
+        Bitwise equivalence with the scalar path is maintained by performing
+        every quantity that depends only on the OPP index (CPI, serial time,
+        per-OPP power coefficients) with the *same* Python-scalar arithmetic
+        as :meth:`run_snippet`, and by ordering the remaining array
+        operations exactly like their scalar counterparts.
+        """
+        configs = list(configurations)
+        if not configs:
+            raise ValueError("evaluate_expected_batch needs at least one configuration")
+        n = len(configs)
+        chars = snippet.characteristics
+        cluster_names = self.platform.cluster_names
+
+        opp_idx: Dict[str, np.ndarray] = {}
+        cores: Dict[str, np.ndarray] = {}
+        index_arrays = getattr(configurations, "batch_index_arrays", None)
+        if index_arrays is not None:
+            # A ConfigurationSpace caches its index arrays, so repeated
+            # sweeps over the same space skip re-reading every config object.
+            for name, (opp, active) in index_arrays().items():
+                opp_idx[name] = opp
+                cores[name] = active
+        else:
+            for name in cluster_names:
+                opp_idx[name] = np.fromiter(
+                    (c.opp_index(name) for c in configs), dtype=np.intp, count=n
+                )
+                cores[name] = np.fromiter(
+                    (c.cores(name) for c in configs), dtype=np.intp, count=n
+                )
+
+        elapsed: Dict[str, np.ndarray] = {}
+        busy: Dict[str, np.ndarray] = {}
+        cycles: Dict[str, np.ndarray] = {}
+        for name in cluster_names:
+            spec = self.platform.cluster(name)
+            frequency_hz, frequency_ghz, _, _ = self._cluster_sweep_tables(name)
+            if name == "big":
+                instructions = snippet.n_instructions * chars.big_fraction
+            else:
+                instructions = snippet.n_instructions * (1.0 - chars.big_fraction)
+            if instructions <= 0.0:
+                elapsed[name] = np.zeros(n)
+                busy[name] = np.zeros(n)
+                cycles[name] = np.zeros(n)
+                continue
+            # CPI over all OPPs in one shot; term grouping mirrors
+            # _cluster_cpi exactly so the floats come out bitwise equal.
+            cpi_base = spec.base_cpi / chars.ilp_factor
+            cpi_base = cpi_base + (
+                chars.branch_misprediction_mpki / 1000.0 * spec.branch_penalty_cycles
+            )
+            memory_term = chars.memory_intensity / 1000.0 * spec.l2_miss_penalty_ns
+            cpi_by_opp = cpi_base + memory_term * frequency_ghz
+            cycles_by_opp = instructions * cpi_by_opp
+            serial_by_opp = cycles_by_opp / frequency_hz
+            amdahl_by_cores = np.empty(spec.n_cores + 1)
+            for c in range(spec.n_cores + 1):
+                usable_cores = max(1, min(c, chars.thread_count))
+                amdahl_by_cores[c] = 1.0 / (
+                    (1.0 - chars.parallel_fraction)
+                    + chars.parallel_fraction / usable_cores
+                )
+            serial_time = serial_by_opp[opp_idx[name]]
+            elapsed[name] = serial_time / amdahl_by_cores[cores[name]]
+            busy[name] = serial_time
+            cycles[name] = cycles_by_opp[opp_idx[name]]
+
+        total_time = elapsed[cluster_names[0]]
+        for name in cluster_names[1:]:
+            total_time = np.maximum(total_time, elapsed[name])
+        if np.any(total_time <= 0.0):
+            raise ValueError("snippet produced zero execution time")
+
+        utilizations: Dict[str, np.ndarray] = {}
+        power_breakdown: Dict[str, np.ndarray] = {}
+        total_power = np.full(n, self.platform.base_power_w)
+        power_breakdown["base"] = np.full(n, self.platform.base_power_w)
+        for name in cluster_names:
+            spec = self.platform.cluster(name)
+            active = np.minimum(np.maximum(cores[name], 0), spec.n_cores).astype(float)
+            utilization = busy[name] / (active * total_time)
+            if name == "little":
+                utilization = np.minimum(
+                    1.0, utilization + LITTLE_BACKGROUND_UTILIZATION
+                )
+            utilization = np.minimum(1.0, utilization)
+            utilizations[name] = utilization
+            _, _, dynamic_coeff, static_coeff = self._cluster_sweep_tables(name)
+            dynamic = (
+                dynamic_coeff[opp_idx[name]] * active
+                * np.minimum(np.maximum(utilization, 0.0), 1.0)
+            )
+            static = static_coeff[opp_idx[name]] * active
+            power_breakdown[f"{name}_dynamic"] = dynamic
+            power_breakdown[f"{name}_static"] = static
+            total_power = total_power + (dynamic + static)
+
+        l2_misses = snippet.n_instructions * chars.memory_intensity / 1000.0
+        external_requests = l2_misses * chars.external_request_rate
+        external_bytes = external_requests * BYTES_PER_EXTERNAL_REQUEST
+        memory_traffic_gbps = external_bytes / total_time / 1e9
+        memory_power = self.platform.memory_power_w_per_gbps * memory_traffic_gbps
+        power_breakdown["memory"] = memory_power
+        total_power = total_power + memory_power
+
+        energy = total_power * total_time
+        total_cycles = np.zeros(n)
+        for name in cluster_names:
+            total_cycles = total_cycles + cycles[name]
+
+        return SoCBatchResult(
+            snippet=snippet,
+            configurations=configs,
+            execution_time_s=total_time,
+            energy_j=energy,
+            average_power_w=total_power,
+            cpu_cycles=total_cycles,
+            cluster_utilization=utilizations,
+            power_breakdown_w=power_breakdown,
+            instructions_retired=snippet.n_instructions,
+            branch_mispredictions=(
+                snippet.n_instructions * chars.branch_misprediction_mpki / 1000.0
+            ),
+            l2_cache_misses=l2_misses,
+            data_memory_accesses=snippet.n_instructions * chars.memory_access_rate,
+            noncache_external_memory_requests=external_requests,
+        )
+
+    def evaluate_batch(
+        self, snippet: Snippet, configurations: Iterable[SoCConfiguration]
+    ) -> SoCBatchResult:
+        """:class:`~repro.core.engine.SimulationEngine` batch entry point."""
+        return self.evaluate_expected_batch(snippet, configurations)
+
     def sweep_configurations(self, snippet: Snippet, configs) -> Dict[SoCConfiguration, SnippetResult]:
         """Evaluate one snippet across many configurations (noise-free)."""
-        return {config: self.evaluate_expected(snippet, config) for config in configs}
+        batch = self.evaluate_expected_batch(snippet, configs)
+        return {config: batch.result_at(i)
+                for i, config in enumerate(batch.configurations)}

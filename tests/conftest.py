@@ -10,28 +10,13 @@ import numpy as np
 import pytest
 
 from repro.core.framework import OnlineLearningFramework
-from repro.experiments.common import ExperimentScale
+from repro.experiments.scales import TINY  # noqa: F401  (re-exported for tests)
 from repro.soc.configuration import ConfigurationSpace
 from repro.soc.platform import generic_big_little, odroid_xu3_like
 from repro.soc.simulator import SoCSimulator
 from repro.soc.snippet import Snippet, SnippetCharacteristics
 from repro.workloads.generator import SnippetTraceGenerator
 from repro.workloads.suites import training_workloads
-
-
-#: Extra-small experiment scale for fast integration tests.
-TINY = ExperimentScale(
-    name="tiny",
-    train_snippet_factor=0.15,
-    eval_snippet_factor=0.15,
-    sequence_snippet_factor=0.6,
-    offline_epochs=40,
-    buffer_capacity=10,
-    update_epochs=40,
-    rl_offline_episodes=1,
-    gpu_frames=80,
-    nmpc_surface_samples=80,
-)
 
 
 @pytest.fixture(scope="session")

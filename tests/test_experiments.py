@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.control.policy import StaticPolicy
+from repro.core.framework import run_policy_on_snippets
+
 from repro.experiments import (
     format_figure2,
     format_figure3,
@@ -25,8 +28,7 @@ from repro.experiments.ablations import (
 from repro.experiments.common import run_online_adaptation_study
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
-
-from conftest import TINY
+from repro.experiments.scales import TINY
 
 
 @pytest.fixture(scope="module")
@@ -104,6 +106,33 @@ class TestFigure5:
             assert row.fps_overhead_percent < 8.0
         assert result.average("gpu_savings_percent") > 5.0
         assert "Figure 5" in format_figure5(result)
+
+
+class TestOnlineAdaptationStudy:
+    def test_per_app_normalized_without_oracle_returns_empty(self,
+                                                             adaptation_study):
+        """Records without oracle_energy_j must not crash or produce NaN."""
+        framework = adaptation_study.framework
+        snippets = adaptation_study.sequence.snippets[:6]
+        run = run_policy_on_snippets(framework.simulator, framework.space,
+                                     StaticPolicy(framework.space), snippets)
+        assert adaptation_study.online_per_app_normalized(run) == {}
+
+    def test_per_app_normalized_with_partial_oracle_coverage(self,
+                                                             adaptation_study):
+        """Apps missing from the Oracle table are dropped, not NaN'd."""
+        framework = adaptation_study.framework
+        snippets = adaptation_study.sequence.snippets[:8]
+        partial_table = framework.build_oracle_for(snippets[:3])
+        run = run_policy_on_snippets(framework.simulator, framework.space,
+                                     StaticPolicy(framework.space), snippets,
+                                     oracle_table=partial_table)
+        normalized = adaptation_study.online_per_app_normalized(run)
+        covered_apps = {s.application for s in snippets[:3]}
+        assert set(normalized) <= covered_apps
+        assert normalized, "covered applications should survive the guard"
+        for value in normalized.values():
+            assert np.isfinite(value) and value > 0.0
 
 
 class TestAblations:

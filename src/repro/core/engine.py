@@ -13,11 +13,14 @@ batch-evaluation surface defined by :class:`SimulationEngine`:
 
 Batch evaluation is first-class because it is the hot path of the paper's
 methodology: Oracle construction executes "each snippet ... at each
-configuration supported by the SoC".  The SoC engine implements it with a
-NumPy-vectorized sweep (see
-:meth:`repro.soc.simulator.SoCSimulator.evaluate_expected_batch`) that is an
-order of magnitude faster than the scalar loop while producing bitwise
-identical results.
+configuration supported by the SoC".  All three engines implement it with
+real vectorized sweeps: the SoC engine with a NumPy-vectorized
+configuration sweep (:meth:`repro.soc.simulator.SoCSimulator.evaluate_expected_batch`),
+the GPU engine with a broadcast ``(configurations x frames)`` render
+(:meth:`repro.gpu.simulator.GPUSimulator.evaluate_batch`), and the NoC
+engine with a prepare-once/replay-per-configuration packet sweep — each an
+order of magnitude (SoC/GPU) or 2x (NoC) faster than the scalar loop while
+producing bitwise identical results.
 
 The module also provides a tiny engine registry so tooling (CLI, tests,
 future sharding/distribution layers) can enumerate and construct engines by

@@ -34,6 +34,7 @@ from repro.soc.simulator import SnippetResult, SoCSimulator
 from repro.soc.snippet import Snippet
 from repro.utils.records import RunLog
 from repro.utils.rng import SeedLike, make_rng, spawn_rngs
+from repro.utils.stats import trailing_nanmean
 from repro.workloads.generator import SnippetTraceGenerator
 from repro.workloads.spec import WorkloadSpec
 
@@ -68,11 +69,7 @@ class PolicyRunResult:
         matches = self.log.column("oracle_match")
         if np.all(np.isnan(matches)):
             raise ValueError("run was executed without an Oracle table")
-        smoothed = np.empty_like(matches)
-        for i in range(len(matches)):
-            lo = max(0, i - window + 1)
-            smoothed[i] = np.nanmean(matches[lo:i + 1])
-        return smoothed * 100.0
+        return trailing_nanmean(matches, window) * 100.0
 
     def time_axis_s(self) -> np.ndarray:
         """Cumulative execution time after each snippet (x-axis of Fig. 3)."""

@@ -5,6 +5,7 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments table2 --scale quick
     python -m repro.experiments figure3 figure4 --scale bench --seeds 3
+    python -m repro.experiments --scale quick --jobs 4 --seeds 4
     python -m repro.experiments --tag ablation --scale tiny
 """
 

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     run_online_adaptation_study,
 )
 from repro.utils.rng import SeedLike
+from repro.utils.stats import trailing_nanmean
 from repro.utils.tables import format_table
 
 
@@ -66,12 +67,7 @@ def _near_optimal_series(study: OnlineAdaptationStudy, run, window: int,
             result.snippet, result.configuration
         ).energy_j
         flags.append(1.0 if achieved <= oracle_energy * (1.0 + tolerance) else 0.0)
-    flags_arr = np.array(flags)
-    smoothed = np.empty_like(flags_arr)
-    for i in range(len(flags_arr)):
-        lo = max(0, i - window + 1)
-        smoothed[i] = np.mean(flags_arr[lo:i + 1])
-    return smoothed * 100.0
+    return trailing_nanmean(np.array(flags), window) * 100.0
 
 
 def run_figure3(scale: ExperimentScale = QUICK, seed: SeedLike = 0,

@@ -4,9 +4,12 @@ Every figure/table driver in :mod:`repro.experiments` (plus the ablations)
 is registered here as an :class:`ExperimentSpec` — a name, a description, a
 ``(scale, seed, context)`` runner callable and a formatter.  The
 :class:`ExperimentRunner` executes any registered experiment at any
-registered scale with multi-seed fan-out, replacing the copy-pasted
+registered scale with multi-seed fan-out — sequentially in-process or across
+a pool of worker processes (``jobs``/``--jobs``) — replacing the copy-pasted
 orchestration that previously lived in each ``figure*.py``/``table*.py``
-call site, and backs the ``python -m repro.experiments`` CLI.
+call site, and backs the ``python -m repro.experiments`` CLI.  Per-seed RNGs
+are spawned from each seed independently, so the fan-out results are
+identical whatever the job count.
 
 Figure 3 and Figure 4 share the expensive online-adaptation study; the
 runner computes it once per ``(scale, seed)`` and hands it to both drivers
@@ -18,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -113,10 +117,10 @@ class ExperimentContext:
                          seed: SeedLike) -> OnlineAdaptationStudy:
         # Key on the (frozen, hashable) scale object itself — a custom scale
         # that happens to share a preset's name must not reuse its study.
-        # Non-int seeds (None / Generator) are keyed by identity so that
-        # figure3 and figure4 still share one study per context.
-        seed_key = seed if isinstance(seed, int) else id(seed)
-        key = (scale, seed_key)
+        # Non-int seeds (None / Generator) key by object identity; using the
+        # object itself (not its id()) keeps it alive, so a recycled address
+        # can never alias two generators to the same entry.
+        key = (scale, seed)
         if key not in self._studies:
             self._studies[key] = run_online_adaptation_study(
                 scale, seed=seed, include_offline_apps=True
@@ -131,6 +135,36 @@ class SeedRun:
     seed: SeedLike
     result: Any
     elapsed_s: float
+
+
+#: Per-worker-process experiment context (lazily created).  Workers are
+#: reused across tasks, so a worker that already ran figure3 at some
+#: ``(scale, seed)`` serves figure4 the memoised study like the sequential
+#: path does — best-effort, since task→worker placement is up to the pool.
+_WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _pooled_seed_run(task: Tuple[str, ExperimentScale, SeedLike]) -> SeedRun:
+    """Execute one ``(experiment, scale, seed)`` task in a worker process.
+
+    The experiment is re-resolved from the registry inside the worker (specs
+    hold arbitrary callables and are not sent over the wire), so only
+    built-in experiments — or ones registered at import time of
+    :mod:`repro.experiments.runner` — are reachable from worker processes.
+    Every seed derives its own independent generators via
+    :func:`repro.utils.rng.spawn_rngs` inside the drivers, so results are a
+    pure function of ``(scale, seed)`` and therefore independent of how many
+    workers execute the fan-out or how tasks land on them.
+    """
+    global _WORKER_CONTEXT
+    name, scale, seed = task
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = ExperimentContext()
+    spec = get_experiment(name)
+    start = time.perf_counter()
+    result = spec.runner(scale, seed, _WORKER_CONTEXT)
+    return SeedRun(seed=seed, result=result,
+                   elapsed_s=time.perf_counter() - start)
 
 
 @dataclass
@@ -166,25 +200,102 @@ class ExperimentRun:
 
 
 class ExperimentRunner:
-    """Executes registered experiments at a given scale with seed fan-out."""
+    """Executes registered experiments at a given scale with seed fan-out.
+
+    ``jobs`` controls the fan-out execution model: ``1`` (default) runs the
+    seeds sequentially in-process; ``N > 1`` dispatches them to a pool of
+    ``N`` worker processes.  Results are identical either way — each seed's
+    run is a deterministic function of ``(scale, seed)`` alone (per-seed
+    RNGs are spawned from the seed, never shared), so neither the job count
+    nor the task scheduling can change any result.  Parallel runs therefore
+    accept only stateless int/None seeds; a shared ``Generator`` seed (whose
+    state threads through consecutive runs in-process) must use ``jobs=1``.
+
+    The pool is created lazily on the first parallel :meth:`run` and reused
+    by later calls, so per-worker memoisation carries across experiments;
+    call :meth:`close` (or use the runner as a context manager) to release
+    the worker processes.
+    """
 
     def __init__(self, scale: ScaleLike = "quick",
-                 seeds: Sequence[SeedLike] = (0,)) -> None:
+                 seeds: Sequence[SeedLike] = (0,), jobs: int = 1) -> None:
         self.scale = get_scale(scale)
         self.seeds: List[SeedLike] = list(seeds)
         if not self.seeds:
             raise ValueError("ExperimentRunner needs at least one seed")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
         self.context = ExperimentContext()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        """Return the runner's worker pool, (re)created lazily.
+
+        The pool persists across :meth:`run` calls so worker processes — and
+        with them the per-worker study memoisation — survive from one
+        experiment to the next (e.g. figure3 then figure4).  It only grows:
+        a request for more workers replaces the pool, a smaller one reuses
+        it.
+        """
+        if self._executor is not None and self._executor_workers < workers:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op if none was ever created)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def run(self, name: str, scale: Optional[ScaleLike] = None,
-            seeds: Optional[Sequence[SeedLike]] = None) -> ExperimentRun:
+            seeds: Optional[Sequence[SeedLike]] = None,
+            jobs: Optional[int] = None) -> ExperimentRun:
         """Run one registered experiment across the seed fan-out."""
         spec = get_experiment(name)
         run_scale = get_scale(scale) if scale is not None else self.scale
         run_seeds = list(seeds) if seeds is not None else self.seeds
         if not run_seeds:
             raise ValueError("run() needs at least one seed")
+        run_jobs = self.jobs if jobs is None else int(jobs)
+        if run_jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {run_jobs}")
         out = ExperimentRun(spec=spec, scale=run_scale)
+        run_jobs = min(run_jobs, len(run_seeds))
+        if run_jobs > 1:
+            # A shared Generator object would thread state from one seed's
+            # run into the next in-process, which worker processes (each
+            # getting a pickled snapshot) cannot reproduce — so the
+            # "identical for any job count" invariant is only promised, and
+            # only accepted, for stateless int/None seeds.
+            if any(not (seed is None or isinstance(seed, int))
+                   for seed in run_seeds):
+                raise ValueError(
+                    "parallel fan-out (jobs > 1) requires int or None seeds; "
+                    "stateful Generator seeds must run sequentially (jobs=1)"
+                )
+            tasks = [(spec.name, run_scale, seed) for seed in run_seeds]
+            pool = self._ensure_executor(run_jobs)
+            out.seed_runs = list(pool.map(_pooled_seed_run, tasks))
+            return out
         for seed in run_seeds:
             start = time.perf_counter()
             result = spec.runner(run_scale, seed, self.context)
@@ -315,6 +426,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="first seed of the fan-out (default 0)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the seed fan-out (default 1 = sequential "
+             "in-process); results are identical for any job count",
+    )
+    parser.add_argument(
         "--tag", default=None,
         help="when no experiment names are given, run all with this tag "
              "(e.g. 'paper', 'ablation')",
@@ -344,9 +460,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: --seed-base must be >= 0 (NumPy seeds are non-negative)",
               file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     try:
-        runner = ExperimentRunner(scale=args.scale, seeds=seeds)
+        runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -356,13 +475,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"available: {available_experiments()}", file=sys.stderr)
         return 2
     exit_code = 0
-    for name in names:
-        try:
-            run = runner.run(name)
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            exit_code = 2
-            continue
-        print(run.format())
-        print()
+    with runner:
+        for name in names:
+            try:
+                run = runner.run(name)
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                exit_code = 2
+                continue
+            print(run.format())
+            print()
     return exit_code

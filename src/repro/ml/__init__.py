@@ -20,7 +20,11 @@ from repro.ml.metrics import (
 from repro.ml.linear import LinearRegressor, RidgeRegressor
 from repro.ml.rls import RecursiveLeastSquares
 from repro.ml.mlp import MLPRegressor, MLPClassifier
-from repro.ml.tree import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    trees_identical,
+)
 from repro.ml.forest import BaggedTreesRegressor
 from repro.ml.svr import SupportVectorRegressor
 from repro.ml.knn import KNeighborsRegressor
@@ -44,6 +48,7 @@ __all__ = [
     "MLPClassifier",
     "DecisionTreeRegressor",
     "DecisionTreeClassifier",
+    "trees_identical",
     "BaggedTreesRegressor",
     "SupportVectorRegressor",
     "KNeighborsRegressor",

@@ -5,16 +5,34 @@ learning models" used by the offline IL works [18, 19] the paper builds on.
 The implementation is a standard greedy CART: binary splits on single
 features, variance reduction (regression) or Gini impurity (classification),
 with depth / minimum-samples stopping rules.
+
+Both training and inference are NumPy-vectorized.  Split search evaluates
+every candidate threshold of every feature at once — cumulative-sum SSE for
+regression, one-hot cumulative class counts and Gini for classification —
+and ``predict`` / ``predict_proba`` route the whole input matrix through the
+tree level by level instead of walking one row at a time.  The original
+scalar kernels are retained (``split_search="scalar"`` and
+``_predict_row``) as the reference implementation: the vectorized paths
+reproduce their splits, tie-breaking and predictions bitwise, which the
+equivalence suite in ``tests/test_ml_tree_equivalence.py`` and the
+``benchmarks/test_bench_ml_kernels.py`` perf gate both assert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.ml.base import Classifier, Regressor, as_1d, as_2d
+
+#: A candidate split must beat the incumbent by more than this margin, so
+#: float noise cannot flip ties; earlier (feature, threshold) candidates win.
+_SPLIT_TOLERANCE = 1e-12
+
+#: Valid values of the ``split_search`` constructor argument.
+_SPLIT_SEARCH_MODES = ("vectorized", "scalar")
 
 
 @dataclass
@@ -26,14 +44,146 @@ class _Node:
     threshold: float = 0.0
     left: Optional["_Node"] = None
     right: Optional["_Node"] = None
+    class_counts: Optional[np.ndarray] = None
 
     @property
     def is_leaf(self) -> bool:
         return self.feature is None
 
 
+def _sequential_best(scores: np.ndarray, initial_best: float) -> Tuple[int, float]:
+    """Replay the scalar candidate scan over a precomputed score vector.
+
+    The scalar kernels accept a candidate only when it beats the running best
+    by more than ``_SPLIT_TOLERANCE``, so the winner depends on scan order,
+    not just on the minimum.  A candidate the scan accepts is necessarily a
+    strict prefix minimum (every earlier candidate — accepted or skipped —
+    scored higher), so one vectorized ``minimum.accumulate`` pass shrinks the
+    scan to the prefix-minima subsequence (typically ~log n entries) and the
+    exact tolerance chain is replayed over just those.  Returns
+    ``(-1, initial_best)`` when nothing qualifies.
+    """
+    n = scores.shape[0]
+    if n == 0:
+        return -1, float(initial_best)
+    is_record = scores < initial_best
+    if n > 1:
+        prefix_min = np.minimum.accumulate(scores[:-1])
+        is_record[1:] &= scores[1:] < prefix_min
+    best = float(initial_best)
+    index = -1
+    for candidate in np.nonzero(is_record)[0]:
+        score = scores[candidate]
+        if score < best - _SPLIT_TOLERANCE:
+            index = int(candidate)
+            best = float(score)
+    return index, best
+
+
+def _candidate_validity(xs: np.ndarray, n_samples: int, min_leaf: int) -> np.ndarray:
+    """Mask of admissible split positions per feature (shape (n-1, features)).
+
+    Candidate ``i`` puts the first ``i`` sorted samples on the left; it is
+    valid when both children satisfy ``min_leaf`` and the sorted feature
+    values actually change across the boundary.
+    """
+    i = np.arange(1, n_samples)
+    valid = ((i >= min_leaf) & (i <= n_samples - min_leaf))[:, None]
+    return valid & (xs[:-1] != xs[1:])
+
+
 def _best_split_regression(x: np.ndarray, y: np.ndarray, min_leaf: int):
-    """Return (feature, threshold, score) minimising weighted child variance."""
+    """Return (feature, threshold, score) minimising weighted child variance.
+
+    Vectorized over all thresholds of all features: per-feature stable sorts,
+    cumulative sums of ``y`` and ``y**2``, and the SSE identity
+    ``sum((y - mean)^2) = sum(y^2) - sum(y)^2 / n`` evaluated for every
+    prefix/suffix pair at once.  Candidates are then scanned in the scalar
+    kernel's order (feature-major, threshold-ascending) so the selected split
+    and its score are bitwise identical to ``_best_split_regression_scalar``.
+    """
+    n_samples, n_features = x.shape
+    parent_score = float(np.var(y)) * n_samples
+    best = (None, 0.0, parent_score)
+    if n_samples < 2:
+        return best
+    order = np.argsort(x, axis=0, kind="stable")
+    xs = np.take_along_axis(x, order, axis=0)
+    ys = y[order]
+    cumsum = np.cumsum(ys, axis=0)
+    cumsum_sq = np.cumsum(ys**2, axis=0)
+    left_n = np.arange(1, n_samples, dtype=float)[:, None]
+    right_n = float(n_samples) - left_n
+    left_sum = cumsum[:-1]
+    left_sq = cumsum_sq[:-1]
+    right_sum = cumsum[-1][None, :] - left_sum
+    right_sq = cumsum_sq[-1][None, :] - left_sq
+    left_sse = left_sq - left_sum**2 / left_n
+    right_sse = right_sq - right_sum**2 / right_n
+    scores = left_sse + right_sse
+    scores[~_candidate_validity(xs, n_samples, min_leaf)] = np.inf
+    index, score = _sequential_best(scores.ravel(order="F"), parent_score)
+    if index < 0:
+        return best
+    feature, row = divmod(index, n_samples - 1)
+    threshold = 0.5 * (xs[row, feature] + xs[row + 1, feature])
+    return (int(feature), float(threshold), float(score))
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p**2))
+
+
+def _best_split_classification(x: np.ndarray, y: np.ndarray, n_classes: int,
+                               min_leaf: int):
+    """Return (feature, threshold, score) minimising weighted Gini impurity.
+
+    One-hot encodes the sorted labels per feature and takes a cumulative sum,
+    which yields the left-child class-count matrix for every candidate
+    threshold in one pass (the right child is the integer complement against
+    the parent counts — no float drift).  Candidate scanning mirrors the
+    scalar kernel's order, so splits match ``_best_split_classification_scalar``
+    bitwise.
+    """
+    n_samples, n_features = x.shape
+    parent_counts = np.bincount(y, minlength=n_classes)
+    parent_score = _gini(parent_counts) * n_samples
+    best = (None, 0.0, parent_score)
+    if n_samples < 2:
+        return best
+    order = np.argsort(x, axis=0, kind="stable")
+    xs = np.take_along_axis(x, order, axis=0)
+    ys = y[order]
+    one_hot = np.zeros((n_samples, n_features, n_classes), dtype=np.int64)
+    np.put_along_axis(one_hot, ys[:, :, None], 1, axis=2)
+    left_counts = np.cumsum(one_hot, axis=0)[:-1]
+    right_counts = parent_counts[None, None, :] - left_counts
+    left_n = np.arange(1, n_samples)
+    right_n = n_samples - left_n
+    p_left = left_counts / left_n[:, None, None]
+    p_right = right_counts / right_n[:, None, None]
+    gini_left = 1.0 - np.sum(p_left**2, axis=2)
+    gini_right = 1.0 - np.sum(p_right**2, axis=2)
+    scores = gini_left * left_n[:, None] + gini_right * right_n[:, None]
+    scores[~_candidate_validity(xs, n_samples, min_leaf)] = np.inf
+    index, score = _sequential_best(scores.ravel(order="F"), parent_score)
+    if index < 0:
+        return best
+    feature, row = divmod(index, n_samples - 1)
+    threshold = 0.5 * (xs[row, feature] + xs[row + 1, feature])
+    return (int(feature), float(threshold), float(score))
+
+
+# --------------------------------------------------------------------- #
+# Scalar reference kernels (the original per-sample loops), kept so the
+# equivalence suite and the benchmark gate always have a ground truth.
+# --------------------------------------------------------------------- #
+def _best_split_regression_scalar(x: np.ndarray, y: np.ndarray, min_leaf: int):
+    """Reference scalar split search (per-sample Python loops)."""
     n_samples, n_features = x.shape
     parent_score = float(np.var(y)) * n_samples
     best = (None, 0.0, parent_score)
@@ -59,23 +209,15 @@ def _best_split_regression(x: np.ndarray, y: np.ndarray, min_leaf: int):
             left_sse = left_sq - left_sum**2 / left_n
             right_sse = right_sq - right_sum**2 / right_n
             score = left_sse + right_sse
-            if score < best[2] - 1e-12:
+            if score < best[2] - _SPLIT_TOLERANCE:
                 threshold = 0.5 * (xs[i - 1] + xs[i])
                 best = (feature, float(threshold), float(score))
     return best
 
 
-def _gini(counts: np.ndarray) -> float:
-    total = counts.sum()
-    if total == 0:
-        return 0.0
-    p = counts / total
-    return float(1.0 - np.sum(p**2))
-
-
-def _best_split_classification(x: np.ndarray, y: np.ndarray, n_classes: int,
-                               min_leaf: int):
-    """Return (feature, threshold, score) minimising weighted Gini impurity."""
+def _best_split_classification_scalar(x: np.ndarray, y: np.ndarray,
+                                      n_classes: int, min_leaf: int):
+    """Reference scalar split search (incremental integer class counts)."""
     n_samples, n_features = x.shape
     parent_counts = np.bincount(y, minlength=n_classes)
     parent_score = _gini(parent_counts) * n_samples
@@ -84,8 +226,8 @@ def _best_split_classification(x: np.ndarray, y: np.ndarray, n_classes: int,
         order = np.argsort(x[:, feature], kind="stable")
         xs = x[order, feature]
         ys = y[order]
-        left_counts = np.zeros(n_classes)
-        right_counts = parent_counts.astype(float).copy()
+        left_counts = np.zeros(n_classes, dtype=np.int64)
+        right_counts = parent_counts.copy()
         for i in range(1, n_samples):
             cls = ys[i - 1]
             left_counts[cls] += 1
@@ -95,30 +237,141 @@ def _best_split_classification(x: np.ndarray, y: np.ndarray, n_classes: int,
             if xs[i - 1] == xs[i]:
                 continue
             score = _gini(left_counts) * i + _gini(right_counts) * (n_samples - i)
-            if score < best[2] - 1e-12:
+            if score < best[2] - _SPLIT_TOLERANCE:
                 threshold = 0.5 * (xs[i - 1] + xs[i])
                 best = (feature, float(threshold), float(score))
     return best
+
+
+def trees_identical(a: "_BaseTree", b: "_BaseTree") -> bool:
+    """Structural bitwise equality of two fitted trees.
+
+    Compares split features, thresholds, predictions and (for classifiers)
+    leaf class counts node by node — the invariant the vectorized kernels
+    guarantee against the scalar reference, used by both the equivalence
+    suite and the benchmark gate.
+    """
+
+    def walk(na: Optional[_Node], nb: Optional[_Node]) -> bool:
+        if (na is None) != (nb is None):
+            return False
+        if na is None:
+            return True
+        if (na.feature != nb.feature or na.threshold != nb.threshold
+                or na.prediction != nb.prediction):
+            return False
+        if (na.class_counts is None) != (nb.class_counts is None):
+            return False
+        if na.class_counts is not None and not np.array_equal(
+                na.class_counts, nb.class_counts):
+            return False
+        return walk(na.left, nb.left) and walk(na.right, nb.right)
+
+    return walk(a.root_, b.root_)
+
+
+@dataclass
+class _FlatTree:
+    """Array form of a fitted tree for level-by-level batch traversal.
+
+    ``feature[k] == -1`` marks node ``k`` as a leaf; internal nodes route to
+    ``left[k]`` / ``right[k]``.  ``class_counts`` is only present for
+    classifiers (one row of training-label counts per node).
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    prediction: np.ndarray
+    class_counts: Optional[np.ndarray] = None
 
 
 class _BaseTree:
     """Common tree construction machinery."""
 
     def __init__(self, max_depth: int, min_samples_split: int,
-                 min_samples_leaf: int) -> None:
+                 min_samples_leaf: int, split_search: str = "vectorized") -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         if min_samples_split < 2:
             raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
         if min_samples_leaf < 1:
             raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if split_search not in _SPLIT_SEARCH_MODES:
+            raise ValueError(
+                f"split_search must be one of {_SPLIT_SEARCH_MODES}, "
+                f"got {split_search!r}"
+            )
         self.max_depth = int(max_depth)
         self.min_samples_split = int(min_samples_split)
         self.min_samples_leaf = int(min_samples_leaf)
+        self.split_search = split_search
         self.root_: Optional[_Node] = None
         self.n_features_: int = 0
+        self._flat: Optional[_FlatTree] = None
+
+    def _flatten(self) -> _FlatTree:
+        """Flatten the node tree into arrays (cached until the next fit)."""
+        if self._flat is not None:
+            return self._flat
+        if self.root_ is None:
+            raise RuntimeError("tree has not been fitted yet")
+        nodes: List[_Node] = [self.root_]
+        cursor = 0
+        while cursor < len(nodes):
+            node = nodes[cursor]
+            cursor += 1
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                nodes.append(node.left)
+                nodes.append(node.right)
+        index = {id(node): k for k, node in enumerate(nodes)}
+        n = len(nodes)
+        flat = _FlatTree(
+            feature=np.full(n, -1, dtype=np.int64),
+            threshold=np.zeros(n, dtype=float),
+            left=np.zeros(n, dtype=np.int64),
+            right=np.zeros(n, dtype=np.int64),
+            prediction=np.zeros(n, dtype=float),
+        )
+        if nodes[0].class_counts is not None:
+            flat.class_counts = np.zeros(
+                (n, nodes[0].class_counts.shape[0]), dtype=np.int64
+            )
+        for k, node in enumerate(nodes):
+            flat.prediction[k] = node.prediction
+            if flat.class_counts is not None:
+                flat.class_counts[k] = node.class_counts
+            if not node.is_leaf:
+                flat.feature[k] = node.feature
+                flat.threshold[k] = node.threshold
+                flat.left[k] = index[id(node.left)]
+                flat.right[k] = index[id(node.right)]
+        self._flat = flat
+        return flat
+
+    def _batch_leaf_indices(self, x: np.ndarray) -> np.ndarray:
+        """Route all rows of ``x`` to their leaves, one tree level per step.
+
+        Uses the same ``row[feature] <= threshold`` comparison as the scalar
+        ``_predict_row`` walk, so the destination leaves — and therefore the
+        predictions — are identical.
+        """
+        flat = self._flatten()
+        nodes = np.zeros(x.shape[0], dtype=np.int64)
+        active = np.nonzero(flat.feature[nodes] >= 0)[0]
+        while active.size:
+            node_ids = nodes[active]
+            go_left = (x[active, flat.feature[node_ids]]
+                       <= flat.threshold[node_ids])
+            nodes[active] = np.where(go_left, flat.left[node_ids],
+                                     flat.right[node_ids])
+            active = active[flat.feature[nodes[active]] >= 0]
+        return nodes
 
     def _predict_row(self, row: np.ndarray) -> float:
+        """Reference scalar traversal (one row at a time)."""
         node = self.root_
         if node is None:
             raise RuntimeError("tree has not been fitted yet")
@@ -157,8 +410,10 @@ class DecisionTreeRegressor(_BaseTree, Regressor):
     """CART regression tree minimising squared error."""
 
     def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
-                 min_samples_leaf: int = 2) -> None:
-        super().__init__(max_depth, min_samples_split, min_samples_leaf)
+                 min_samples_leaf: int = 2,
+                 split_search: str = "vectorized") -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         split_search=split_search)
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
         x = as_2d(features)
@@ -166,6 +421,7 @@ class DecisionTreeRegressor(_BaseTree, Regressor):
         if x.shape[0] != y.shape[0]:
             raise ValueError("features and targets must have the same length")
         self.n_features_ = x.shape[1]
+        self._flat = None
         self.root_ = self._grow(x, y, depth=1)
         return self
 
@@ -175,7 +431,9 @@ class DecisionTreeRegressor(_BaseTree, Regressor):
             return node
         if np.allclose(y, y[0]):
             return node
-        feature, threshold, _ = _best_split_regression(x, y, self.min_samples_leaf)
+        search = (_best_split_regression_scalar if self.split_search == "scalar"
+                  else _best_split_regression)
+        feature, threshold, _ = search(x, y, self.min_samples_leaf)
         if feature is None:
             return node
         mask = x[:, feature] <= threshold
@@ -189,15 +447,18 @@ class DecisionTreeRegressor(_BaseTree, Regressor):
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         x = as_2d(features)
-        return np.array([self._predict_row(row) for row in x])
+        flat = self._flatten()
+        return flat.prediction[self._batch_leaf_indices(x)]
 
 
 class DecisionTreeClassifier(_BaseTree, Classifier):
     """CART classification tree minimising Gini impurity."""
 
     def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
-                 min_samples_leaf: int = 2) -> None:
-        super().__init__(max_depth, min_samples_split, min_samples_leaf)
+                 min_samples_leaf: int = 2,
+                 split_search: str = "vectorized") -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         split_search=split_search)
         self.classes_: Optional[np.ndarray] = None
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
@@ -206,22 +467,22 @@ class DecisionTreeClassifier(_BaseTree, Classifier):
         if x.shape[0] != y.shape[0]:
             raise ValueError("features and labels must have the same length")
         self.classes_ = np.unique(y)
-        index = {int(c): i for i, c in enumerate(self.classes_)}
-        encoded = np.array([index[int(v)] for v in y], dtype=int)
+        encoded = np.searchsorted(self.classes_, y)
         self.n_features_ = x.shape[1]
+        self._flat = None
         self.root_ = self._grow(x, encoded, depth=1, n_classes=len(self.classes_))
         return self
 
     def _grow(self, x: np.ndarray, y: np.ndarray, depth: int, n_classes: int) -> _Node:
         counts = np.bincount(y, minlength=n_classes)
-        node = _Node(prediction=float(np.argmax(counts)))
+        node = _Node(prediction=float(np.argmax(counts)), class_counts=counts)
         if depth >= self.max_depth or x.shape[0] < self.min_samples_split:
             return node
         if len(np.unique(y)) == 1:
             return node
-        feature, threshold, _ = _best_split_classification(
-            x, y, n_classes, self.min_samples_leaf
-        )
+        search = (_best_split_classification_scalar if self.split_search == "scalar"
+                  else _best_split_classification)
+        feature, threshold, _ = search(x, y, n_classes, self.min_samples_leaf)
         if feature is None:
             return node
         mask = x[:, feature] <= threshold
@@ -237,5 +498,19 @@ class DecisionTreeClassifier(_BaseTree, Classifier):
         if self.classes_ is None:
             raise RuntimeError("DecisionTreeClassifier has not been fitted yet")
         x = as_2d(features)
-        encoded = np.array([int(self._predict_row(row)) for row in x])
+        flat = self._flatten()
+        encoded = flat.prediction[self._batch_leaf_indices(x)].astype(int)
         return self.classes_[encoded]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities, shape (n_samples, n_classes).
+
+        Column ``j`` corresponds to ``classes_[j]``; each row is the
+        training-label distribution of the leaf the sample lands in.
+        """
+        if self.classes_ is None:
+            raise RuntimeError("DecisionTreeClassifier has not been fitted yet")
+        x = as_2d(features)
+        flat = self._flatten()
+        counts = flat.class_counts[self._batch_leaf_indices(x)].astype(float)
+        return counts / counts.sum(axis=1, keepdims=True)

@@ -11,7 +11,6 @@ parameter sweeps inside unit tests and benchmarks.
 
 from __future__ import annotations
 
-import copy
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -22,6 +21,26 @@ from repro.noc.packet import Packet
 from repro.noc.router import RouterConfig
 from repro.noc.topology import Link, MeshTopology
 from repro.noc.traffic import TrafficPattern
+
+
+@dataclass
+class _PreparedTraffic:
+    """One packet trace preprocessed for replay under many router configs.
+
+    Routes depend only on the topology, so they are computed once per trace
+    — as per-packet link-id arrays over a dense link numbering — and shared
+    read-only by every configuration of a batch sweep, instead of
+    re-routing (and deep-copying) the whole packet list per configuration.
+    ``packets`` is sorted by injection cycle (stable), matching the event
+    ordering of :meth:`NoCSimulator.run_packets`.
+    """
+
+    packets: List[Packet]
+    routes: List[List[int]]
+    link_ids: List[np.ndarray]
+    sizes: np.ndarray
+    injections: np.ndarray
+    n_links: int
 
 
 @dataclass
@@ -78,18 +97,21 @@ class NoCSimulator:
         """Simulate one traffic pattern under many router configurations.
 
         :class:`~repro.core.engine.SimulationEngine` batch entry point.  The
-        packet trace is generated once and replayed (deep-copied, since the
-        simulator mutates packet timing fields) against each router
-        configuration, so every result sees identical offered traffic.
+        packet trace is generated and prepared (sorted, XY-routed, link ids
+        and sizes packed into arrays) exactly once, then replayed read-only
+        against each router configuration: every result sees identical
+        offered traffic, and the per-configuration cost is just the event
+        loop — no per-configuration re-routing or packet deep copies.
         """
+        routers = list(configurations)
+        if not routers:
+            raise ValueError("evaluate_batch needs at least one configuration")
         packets = traffic.generate(n_cycles)
-        results: List[NoCSimulationResult] = []
-        for router in configurations:
-            replica = NoCSimulator(self.topology, router)
-            results.append(
-                replica.run_packets(copy.deepcopy(packets), n_cycles)
-            )
-        return results
+        prepared = self._prepare_packets(packets)
+        return [
+            self._run_prepared(prepared, router, n_cycles)
+            for router in routers
+        ]
 
     def run(self, traffic: TrafficPattern, n_cycles: int,
             drain: bool = True, max_drain_cycles: int = 100000) -> NoCSimulationResult:
@@ -101,55 +123,124 @@ class NoCSimulator:
     def run_packets(self, packets: List[Packet], n_cycles: int,
                     drain: bool = True,
                     max_drain_cycles: int = 100000) -> NoCSimulationResult:
-        """Simulate an explicit packet list (events sorted by injection time)."""
-        # Each link becomes free at link_free[link]; packets advance hop by hop.
-        link_free: Dict[Link, int] = {}
-        # Event queue of (time, sequence, packet, hop_index, route).
-        events: List[Tuple[int, int, int]] = []
-        routes: Dict[int, List[int]] = {}
-        packet_by_id: Dict[int, Packet] = {}
-        sequence = 0
-        for packet in sorted(packets, key=lambda p: p.injection_cycle):
+        """Simulate an explicit packet list (events sorted by injection time).
+
+        The input packets are mutated in place (``route``, ``hops`` and — for
+        delivered packets — ``ejection_cycle``) and the delivered list holds
+        the same objects, as it always did.
+        """
+        prepared = self._prepare_packets(packets)
+        return self._run_prepared(prepared, self.router, n_cycles, drain=drain,
+                                  max_drain_cycles=max_drain_cycles,
+                                  reuse_packets=True)
+
+    def _prepare_packets(self, packets: List[Packet]) -> _PreparedTraffic:
+        """Sort, route and array-pack a packet list for (repeated) replay.
+
+        Routing annotations (``route``/``hops``) are written back onto the
+        input packets, mirroring the historical :meth:`run_packets` side
+        effect.
+        """
+        ordered = sorted(packets, key=lambda p: p.injection_cycle)
+        link_index: Dict[Link, int] = {}
+        routes: List[List[int]] = []
+        link_ids: List[np.ndarray] = []
+        for packet in ordered:
             route = self.topology.xy_route(packet.source, packet.destination)
-            routes[packet.packet_id] = route
             packet.route = route
             packet.hops = len(route) - 1
-            packet_by_id[packet.packet_id] = packet
-            heapq.heappush(events, (packet.injection_cycle, sequence, packet.packet_id))
-            sequence += 1
+            ids = np.empty(len(route) - 1, dtype=np.int64)
+            for hop in range(len(route) - 1):
+                link = (route[hop], route[hop + 1])
+                ids[hop] = link_index.setdefault(link, len(link_index))
+            routes.append(route)
+            link_ids.append(ids)
+        return _PreparedTraffic(
+            packets=ordered,
+            routes=routes,
+            link_ids=link_ids,
+            sizes=np.array([p.size_flits for p in ordered], dtype=np.int64),
+            injections=np.array([p.injection_cycle for p in ordered],
+                                dtype=np.int64),
+            n_links=len(link_index),
+        )
 
-        hop_progress: Dict[int, int] = {pid: 0 for pid in routes}
-        delivered: List[Packet] = []
+    def _run_prepared(self, prepared: _PreparedTraffic, router: RouterConfig,
+                      n_cycles: int, drain: bool = True,
+                      max_drain_cycles: int = 100000,
+                      reuse_packets: bool = False) -> NoCSimulationResult:
+        """Event loop over a prepared trace under one router configuration.
+
+        With ``reuse_packets=True`` the delivered list holds the (mutated)
+        prepared packets themselves; otherwise fresh :class:`Packet` result
+        objects are built so the shared prepared trace stays pristine for
+        the next configuration.
+        """
+        n_packets = len(prepared.packets)
+        # Service time is constant per packet under one configuration; go
+        # through the router's own service model (one call per distinct
+        # packet size) so the batch path can never drift from run_packets.
+        unique_sizes, inverse = np.unique(prepared.sizes, return_inverse=True)
+        service = np.array(
+            [router.service_cycles(int(size)) for size in unique_sizes],
+            dtype=np.int64,
+        )[inverse] if n_packets else np.empty(0, dtype=np.int64)
+        per_hop_delay = router.link_delay_cycles + router.router_delay_cycles
+        link_free = np.zeros(prepared.n_links, dtype=np.int64)
+        hop_progress = np.zeros(n_packets, dtype=np.int64)
+        ejection = np.zeros(n_packets, dtype=np.int64)
+        # Events are (time, sequence, packet index); the prepared packets are
+        # injection-sorted, so the initial list is already a valid heap and
+        # the sequence numbers replicate the historical tie-breaking.
+        events: List[Tuple[int, int, int]] = [
+            (int(prepared.injections[k]), k, k) for k in range(n_packets)
+        ]
+        sequence = n_packets
+        delivered_indices: List[int] = []
         horizon = n_cycles + max_drain_cycles if drain else n_cycles
         last_cycle = 0
         while events:
-            time, _, packet_id = heapq.heappop(events)
+            time, _, index = heapq.heappop(events)
             if time > horizon:
                 break
             last_cycle = max(last_cycle, time)
-            packet = packet_by_id[packet_id]
-            route = routes[packet_id]
-            hop = hop_progress[packet_id]
-            if hop >= len(route) - 1:
+            links = prepared.link_ids[index]
+            hop = hop_progress[index]
+            if hop >= links.shape[0]:
                 # Final router reached: packet ejects into the local core.
-                packet.ejection_cycle = time
-                delivered.append(packet)
+                ejection[index] = time
+                delivered_indices.append(index)
                 continue
-            link = (route[hop], route[hop + 1])
-            service = self.router.service_cycles(packet.size_flits)
-            start = max(time, link_free.get(link, 0))
-            finish = start + service
+            link = links[hop]
+            start = max(time, int(link_free[link]))
+            finish = start + int(service[index])
             link_free[link] = finish
-            arrival_next = (finish + self.router.link_delay_cycles
-                            + self.router.router_delay_cycles)
-            hop_progress[packet_id] = hop + 1
-            heapq.heappush(events, (arrival_next, sequence, packet_id))
+            hop_progress[index] = hop + 1
+            heapq.heappush(events, (finish + per_hop_delay, sequence, index))
             sequence += 1
 
-        undelivered = len(packets) - len(delivered)
+        delivered: List[Packet] = []
+        for index in delivered_indices:
+            source = prepared.packets[index]
+            if reuse_packets:
+                source.ejection_cycle = int(ejection[index])
+                delivered.append(source)
+            else:
+                delivered.append(
+                    Packet(
+                        packet_id=source.packet_id,
+                        source=source.source,
+                        destination=source.destination,
+                        size_flits=source.size_flits,
+                        injection_cycle=source.injection_cycle,
+                        ejection_cycle=int(ejection[index]),
+                        hops=len(prepared.routes[index]) - 1,
+                        route=list(prepared.routes[index]),
+                    )
+                )
         return NoCSimulationResult(
             delivered_packets=delivered,
-            undelivered_count=undelivered,
+            undelivered_count=n_packets - len(delivered),
             simulated_cycles=max(n_cycles, last_cycle),
         )
 

@@ -2,6 +2,7 @@
 
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.records import RunRecord, RunLog
+from repro.utils.stats import trailing_nanmean
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -9,5 +10,6 @@ __all__ = [
     "spawn_rngs",
     "RunRecord",
     "RunLog",
+    "trailing_nanmean",
     "format_table",
 ]

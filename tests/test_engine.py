@@ -94,6 +94,70 @@ class TestEngineProtocol:
         assert results[0].average_latency_cycles == results[2].average_latency_cycles
         assert results[1].average_latency_cycles > results[0].average_latency_cycles
 
+    def test_gpu_batch_bitwise_matches_run_fixed(self):
+        """Vectorized GPU sweep reproduces the scalar frame loop bitwise."""
+        gpu_spec = default_integrated_gpu()
+        gpu = GPUSimulator(gpu_spec, seed=0)
+        trace = get_graphics_workload("nenamark2", gpu=gpu_spec, n_frames=40,
+                                      seed=3)
+        configs = gpu_spec.configurations()
+        batch = gpu.evaluate_batch(trace, configs)
+        assert len(batch) == len(configs)
+        for i in (0, len(configs) // 2, len(configs) - 1):
+            reference = gpu.run_fixed(trace, configs[i], deterministic=True)
+            materialized = batch.summary_at(i)
+            for got, want in zip(materialized.frame_results,
+                                 reference.frame_results):
+                assert got.busy_time_s == want.busy_time_s
+                assert got.frame_time_s == want.frame_time_s
+                assert got.gpu_energy_j == want.gpu_energy_j
+                assert got.dram_energy_j == want.dram_energy_j
+                assert got.cpu_energy_j == want.cpu_energy_j
+                assert got.met_deadline == want.met_deadline
+            assert materialized.gpu_energy_j == reference.gpu_energy_j
+            # Aggregate accessors agree with the materialised summaries.
+            assert batch.gpu_energy_totals_j[i] == pytest.approx(
+                reference.gpu_energy_j)
+            assert batch.package_dram_energy_totals_j[i] == pytest.approx(
+                reference.package_dram_energy_j)
+            assert batch.deadline_miss_rates[i] == pytest.approx(
+                reference.deadline_miss_rate)
+        with pytest.raises(ValueError):
+            gpu.evaluate_batch(trace, [])
+        with pytest.raises(IndexError):
+            batch.summary_at(len(configs))
+
+    def test_noc_batch_matches_run_packets_replay(self):
+        """Shared-preparation batch equals a fresh run_packets per config."""
+        topology = MeshTopology(3, 3)
+        configs = [RouterConfig(), RouterConfig(router_delay_cycles=5),
+                   RouterConfig(flits_per_cycle=2)]
+        batch = NoCSimulator(topology).evaluate_batch(
+            UniformRandomTraffic(topology, injection_rate=0.08, seed=17),
+            configs, n_cycles=120,
+        )
+        # Regenerate the identical trace (same seed) per reference run.
+        for config, result in zip(configs, batch):
+            traffic = UniformRandomTraffic(topology, injection_rate=0.08,
+                                           seed=17)
+            reference = NoCSimulator(topology, config).run_packets(
+                traffic.generate(120), 120
+            )
+            assert result.undelivered_count == reference.undelivered_count
+            assert result.simulated_cycles == reference.simulated_cycles
+            assert (
+                [(p.packet_id, p.ejection_cycle, p.hops)
+                 for p in result.delivered_packets]
+                == [(p.packet_id, p.ejection_cycle, p.hops)
+                    for p in reference.delivered_packets]
+            )
+        # Empty sweeps are rejected like the SoC and GPU engines do.
+        with pytest.raises(ValueError):
+            NoCSimulator(topology).evaluate_batch(
+                UniformRandomTraffic(topology, injection_rate=0.08, seed=17),
+                [], n_cycles=10,
+            )
+
 
 class TestBatchSweepParity:
     def test_batch_matches_scalar_results_bitwise(self, simulator, space,

@@ -64,6 +64,39 @@ class StaticPolicy(DRMPolicy):
         return self.configuration
 
 
+class GovernorPolicy(DRMPolicy):
+    """Adapter running a :mod:`repro.soc.governors` governor as a DRM policy.
+
+    Governors expose ``reset``/``decide`` but expect real counters (they
+    are utilisation driven) and do not implement ``observe``; this adapter
+    handles the first no-observation step and keeps the governor's notion
+    of the current configuration in sync with what actually executed
+    (which may differ under scenario throttling).
+    """
+
+    def __init__(self, governor) -> None:
+        super().__init__(governor.space)
+        self.governor = governor
+
+    def reset(self, configuration: Optional[SoCConfiguration] = None) -> None:
+        super().reset(configuration)
+        self.governor.reset(configuration)
+
+    def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
+        if counters is None:
+            return self.current
+        self.current = self.governor.decide(counters)
+        return self.current
+
+    def observe(self, result: SnippetResult) -> None:
+        super().observe(result)
+        self.governor.current = result.configuration
+
+    @property
+    def name(self) -> str:
+        return f"governor-{type(self.governor).__name__}"
+
+
 class RandomPolicy(DRMPolicy):
     """Selects a uniformly random configuration each snippet (exploration floor)."""
 

@@ -13,8 +13,9 @@ experiments and examples.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.utils.rng import SeedLike, make_rng, spawn_rngs
 from repro.utils.stats import trailing_nanmean
 from repro.workloads.generator import SnippetTraceGenerator
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> core)
+    from repro.scenarios.base import ScenarioTrace
 
 
 @dataclass
@@ -92,12 +96,23 @@ def run_policy_on_snippets(
     rng: Optional[np.random.Generator] = None,
     reset_policy: bool = True,
     initial_configuration: Optional[SoCConfiguration] = None,
+    space_schedule: Optional[Callable[[int], ConfigurationSpace]] = None,
 ) -> PolicyRunResult:
     """Execute ``snippets`` under ``policy`` and collect the run statistics.
 
     The loop mirrors the deployment data flow: the policy decides the next
     configuration from the counters of the *previous* snippet, the simulator
     executes the snippet, and the result is fed back to the policy.
+
+    ``space_schedule`` (scenario hook) maps the step index to the
+    configuration space that is actually reachable at that step — e.g. a
+    thermally throttled restriction of ``space``.  The policy still reasons
+    over its own space; if its decision falls outside the active space the
+    hardware-clamped configuration
+    (:meth:`~repro.soc.configuration.ConfigurationSpace.clamp`) is executed
+    instead.  The run log's ``throttled`` column flags every step whose
+    active space is restricted (a throttle window is in force), whether or
+    not this particular decision needed clamping.
     """
     if reset_policy:
         policy.reset(initial_configuration)
@@ -110,6 +125,12 @@ def run_policy_on_snippets(
         if isinstance(policy, OraclePolicy):
             policy.prepare_for(snippet)
         config = policy.decide(counters)
+        throttled = False
+        if space_schedule is not None:
+            active_space = space_schedule(step)
+            throttled = active_space is not space
+            if throttled and not active_space.contains(config):
+                config = active_space.clamp(config)
         result = simulator.run_snippet(snippet, config, rng=rng)
         policy.observe(result)
         counters = result.counters
@@ -122,6 +143,8 @@ def run_policy_on_snippets(
             "big_opp": float(config.opp_index("big")),
             "little_opp": float(config.opp_index("little")),
         }
+        if space_schedule is not None:
+            record["throttled"] = 1.0 if throttled else 0.0
         if oracle_table is not None and snippet.name in oracle_table:
             entry = oracle_table.entry(snippet)
             oracle_config = entry.best_configuration
@@ -250,19 +273,36 @@ class OnlineLearningFramework:
         buffer_capacity: int = 100,
         update_epochs: int = 30,
         neighborhood_radius: int = 2,
+        isolated: bool = False,
     ) -> OnlineILPolicy:
-        """Online-IL policy initialised from the offline policy and models."""
+        """Online-IL policy initialised from the offline policy and models.
+
+        Online adaptation mutates its starting point in place: back-prop
+        updates flow into the offline policy's network and counter
+        observations into the power/performance models.  With
+        ``isolated=True`` the policy instead starts from deep copies of all
+        three, leaving the framework's design-time state untouched — this
+        is what lets the robustness driver evaluate many scenarios from the
+        same trained framework without cross-scenario leakage.
+        """
         if self.offline_policy is None:
             raise RuntimeError("call train_offline() before building the online policy")
+        offline_policy = self.offline_policy
+        power_model = self.power_model
+        performance_model = self.performance_model
+        if isolated:
+            offline_policy = copy.deepcopy(offline_policy)
+            power_model = copy.deepcopy(power_model)
+            performance_model = copy.deepcopy(performance_model)
         runtime_oracle = RuntimeOracle(
             self.space,
-            power_model=self.power_model,
-            performance_model=self.performance_model,
+            power_model=power_model,
+            performance_model=performance_model,
             neighborhood_radius=neighborhood_radius,
         )
         return OnlineILPolicy(
             self.space,
-            offline_policy=self.offline_policy,
+            offline_policy=offline_policy,
             runtime_oracle=runtime_oracle,
             buffer_capacity=buffer_capacity,
             update_epochs=update_epochs,
@@ -324,5 +364,39 @@ class OnlineLearningFramework:
         return run_policy_on_snippets(
             self.simulator, self.space, policy, snippets,
             oracle_table=oracle_table, rng=self._misc_rng,
+            reset_policy=reset_policy,
+        )
+
+    def evaluate_policy_on_scenario(
+        self,
+        policy: DRMPolicy,
+        trace: "ScenarioTrace",
+        with_oracle: bool = True,
+        reset_policy: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PolicyRunResult:
+        """Run ``policy`` over a scenario trace, honouring throttle windows.
+
+        The Oracle is scenario-aware: during throttle windows the entries
+        are computed against the restricted configuration space (via the
+        framework's :class:`~repro.core.oracle.OracleCache`, whose keys
+        include the restriction).  ``rng`` overrides the framework's
+        measurement-noise stream — pass a derived generator to make a run
+        independent of what was executed before it.
+        """
+        from repro.scenarios.runtime import (
+            build_scenario_oracle,
+            run_policy_on_scenario,
+        )
+        oracle_table = None
+        if with_oracle:
+            oracle_table = build_scenario_oracle(
+                self.simulator, self.space, trace, self.objective,
+                cache=self.oracle_cache,
+            )
+        return run_policy_on_scenario(
+            self.simulator, self.space, policy, trace,
+            oracle_table=oracle_table,
+            rng=rng if rng is not None else self._misc_rng,
             reset_policy=reset_policy,
         )

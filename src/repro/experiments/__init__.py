@@ -30,6 +30,12 @@ from repro.experiments.ablations import (
     run_config_space_ablation,
     run_noc_model_comparison,
 )
+from repro.experiments.robustness import (
+    RobustnessResult,
+    RobustnessRow,
+    format_robustness,
+    run_robustness,
+)
 from repro.experiments.runner import (
     ExperimentRunner,
     ExperimentSpec,
@@ -77,4 +83,8 @@ __all__ = [
     "run_explicit_nmpc_ablation",
     "run_config_space_ablation",
     "run_noc_model_comparison",
+    "RobustnessResult",
+    "RobustnessRow",
+    "format_robustness",
+    "run_robustness",
 ]

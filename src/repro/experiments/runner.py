@@ -110,8 +110,13 @@ class ExperimentContext:
     policies once instead of twice per run.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scenario_filter: Optional[Sequence[str]] = None) -> None:
         self._studies: Dict[Tuple[ExperimentScale, Any], OnlineAdaptationStudy] = {}
+        #: Names of the scenarios scenario-driven experiments (robustness)
+        #: should sweep; ``None`` means every registered scenario.
+        self.scenario_filter: Optional[Tuple[str, ...]] = (
+            tuple(scenario_filter) if scenario_filter is not None else None
+        )
 
     def adaptation_study(self, scale: ExperimentScale,
                          seed: SeedLike) -> OnlineAdaptationStudy:
@@ -144,8 +149,11 @@ class SeedRun:
 _WORKER_CONTEXT: Optional[ExperimentContext] = None
 
 
-def _pooled_seed_run(task: Tuple[str, ExperimentScale, SeedLike]) -> SeedRun:
-    """Execute one ``(experiment, scale, seed)`` task in a worker process.
+def _pooled_seed_run(
+    task: Tuple[str, ExperimentScale, SeedLike, Optional[Tuple[str, ...]]]
+) -> SeedRun:
+    """Execute one ``(experiment, scale, seed, scenario_filter)`` task in a
+    worker process.
 
     The experiment is re-resolved from the registry inside the worker (specs
     hold arbitrary callables and are not sent over the wire), so only
@@ -153,13 +161,15 @@ def _pooled_seed_run(task: Tuple[str, ExperimentScale, SeedLike]) -> SeedRun:
     :mod:`repro.experiments.runner` — are reachable from worker processes.
     Every seed derives its own independent generators via
     :func:`repro.utils.rng.spawn_rngs` inside the drivers, so results are a
-    pure function of ``(scale, seed)`` and therefore independent of how many
-    workers execute the fan-out or how tasks land on them.
+    pure function of ``(scale, seed, scenario_filter)`` and therefore
+    independent of how many workers execute the fan-out or how tasks land
+    on them.
     """
     global _WORKER_CONTEXT
-    name, scale, seed = task
+    name, scale, seed, scenario_filter = task
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = ExperimentContext()
+    _WORKER_CONTEXT.scenario_filter = scenario_filter
     spec = get_experiment(name)
     start = time.perf_counter()
     result = spec.runner(scale, seed, _WORKER_CONTEXT)
@@ -218,7 +228,8 @@ class ExperimentRunner:
     """
 
     def __init__(self, scale: ScaleLike = "quick",
-                 seeds: Sequence[SeedLike] = (0,), jobs: int = 1) -> None:
+                 seeds: Sequence[SeedLike] = (0,), jobs: int = 1,
+                 scenario_filter: Optional[Sequence[str]] = None) -> None:
         self.scale = get_scale(scale)
         self.seeds: List[SeedLike] = list(seeds)
         if not self.seeds:
@@ -226,7 +237,7 @@ class ExperimentRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
-        self.context = ExperimentContext()
+        self.context = ExperimentContext(scenario_filter=scenario_filter)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
 
@@ -292,7 +303,8 @@ class ExperimentRunner:
                     "parallel fan-out (jobs > 1) requires int or None seeds; "
                     "stateful Generator seeds must run sequentially (jobs=1)"
                 )
-            tasks = [(spec.name, run_scale, seed) for seed in run_seeds]
+            tasks = [(spec.name, run_scale, seed, self.context.scenario_filter)
+                     for seed in run_seeds]
             pool = self._ensure_executor(run_jobs)
             out.seed_runs = list(pool.map(_pooled_seed_run, tasks))
             return out
@@ -331,6 +343,7 @@ def _register_builtins() -> None:
     from repro.experiments.figure3 import format_figure3, run_figure3
     from repro.experiments.figure4 import format_figure4, run_figure4
     from repro.experiments.figure5 import format_figure5, run_figure5
+    from repro.experiments.robustness import format_robustness, run_robustness
     from repro.experiments.table1 import format_table1, run_table1
     from repro.experiments.table2 import format_table2, run_table2
 
@@ -367,6 +380,15 @@ def _register_builtins() -> None:
         "figure5", "Figure 5 — explicit-NMPC GPU energy savings vs baseline",
         lambda scale, seed, ctx: run_figure5(scale, seed=seed),
         formatter=format_figure5, tags=("paper", "figure"),
+    )
+    register_experiment(
+        "robustness",
+        "Scenario stress sweep — online-IL vs offline-IL vs governors",
+        lambda scale, seed, ctx: run_robustness(
+            scale, seed=seed,
+            scenarios=getattr(ctx, "scenario_filter", None),
+        ),
+        formatter=format_robustness, tags=("robustness", "scenario"),
     )
     register_experiment(
         "ablation-buffer", "Online-IL adaptation vs aggregation-buffer size",
@@ -436,6 +458,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "(e.g. 'paper', 'ablation')",
     )
     parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        dest="scenarios",
+        help="restrict scenario-driven experiments (robustness) to this "
+             "registered scenario; repeatable (default: all scenarios)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list registered experiments and scales, then exit",
     )
@@ -446,12 +474,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.experiments``."""
     args = _build_parser().parse_args(argv)
     if args.list_experiments:
+        from repro.scenarios import available_scenarios
         print("Registered experiments:")
         for name in available_experiments():
             spec = get_experiment(name)
             tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
             print(f"  {name:22s} {spec.description}{tags}")
         print(f"Scales: {', '.join(available_scales())}")
+        print(f"Scenarios: {', '.join(available_scenarios())}")
         return 0
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
@@ -463,9 +493,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.scenarios:
+        from repro.scenarios import available_scenarios
+        unknown = sorted(set(args.scenarios) - set(available_scenarios()))
+        if unknown:
+            print(f"error: unknown scenarios {unknown}; "
+                  f"available: {available_scenarios()}", file=sys.stderr)
+            return 2
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     try:
-        runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs)
+        runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs,
+                                  scenario_filter=args.scenarios)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -474,6 +512,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: no experiments match tag {args.tag!r}; "
               f"available: {available_experiments()}", file=sys.stderr)
         return 2
+    if args.scenarios:
+        # --scenario only affects scenario-driven experiments; running e.g.
+        # `figure2 --scenario phase_churn` would silently do nothing with
+        # the flag, so reject the combination instead.
+        consumers = [name for name in names
+                     if name in _EXPERIMENT_REGISTRY
+                     and "scenario" in get_experiment(name).tags]
+        if not consumers:
+            print("error: --scenario has no effect on "
+                  f"{names}; scenario-driven experiments: "
+                  f"{available_experiments(tag='scenario')}", file=sys.stderr)
+            return 2
     exit_code = 0
     with runner:
         for name in names:

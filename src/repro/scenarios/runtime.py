@@ -1,0 +1,114 @@
+"""Executing policies under a scenario trace.
+
+A :class:`~repro.scenarios.base.ScenarioTrace` is more than a snippet list:
+throttling scenarios restrict the reachable configuration space for whole
+windows of the run.  This module provides the three runtime pieces:
+
+* :func:`restricted_spaces` / :func:`make_space_schedule` — materialise the
+  per-cap restricted :class:`~repro.soc.configuration.ConfigurationSpace`
+  objects (one per distinct cap, built once) and the step -> active-space
+  schedule consumed by
+  :func:`~repro.core.framework.run_policy_on_snippets`.
+* :func:`build_scenario_oracle` — a scenario-aware Oracle table: every
+  snippet's entry is computed against the space that is *actually
+  reachable at its step* (via the vectorized batch sweep), so accuracy and
+  normalised energy stay meaningful under throttling.  Entries flow
+  through the :class:`~repro.core.oracle.OracleCache`, whose keys include
+  the space restriction — a throttled window can never reuse a stale
+  full-space entry.
+* :func:`run_policy_on_scenario` — the one-call evaluation entry point
+  mirroring :func:`~repro.core.framework.run_policy_on_snippets`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.control.policy import DRMPolicy
+from repro.core.framework import PolicyRunResult, run_policy_on_snippets
+from repro.core.objectives import ENERGY, Objective
+from repro.core.oracle import OracleCache, OracleTable, build_oracle
+from repro.scenarios.base import ScenarioTrace
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.simulator import SoCSimulator
+from repro.soc.snippet import Snippet
+
+
+def restricted_spaces(base_space: ConfigurationSpace,
+                      trace: ScenarioTrace) -> Dict[int, ConfigurationSpace]:
+    """One restricted space per distinct throttle cap in ``trace``."""
+    caps = sorted({event.max_opp_index for event in trace.throttle_events})
+    return {cap: base_space.restrict(max_opp_index=cap) for cap in caps}
+
+
+def make_space_schedule(
+    base_space: ConfigurationSpace, trace: ScenarioTrace
+) -> Optional[Callable[[int], ConfigurationSpace]]:
+    """Step -> active-space schedule for ``trace`` (None when unthrottled)."""
+    if not trace.throttle_events:
+        return None
+    spaces = restricted_spaces(base_space, trace)
+
+    def schedule(step: int) -> ConfigurationSpace:
+        cap = trace.cap_at(step)
+        return base_space if cap is None else spaces[cap]
+
+    return schedule
+
+
+def build_scenario_oracle(
+    simulator: SoCSimulator,
+    base_space: ConfigurationSpace,
+    trace: ScenarioTrace,
+    objective: Objective = ENERGY,
+    cache: Optional[OracleCache] = None,
+) -> OracleTable:
+    """Oracle table for ``trace`` honouring its per-step space restrictions.
+
+    Steps are grouped by their active throttle cap; each group is swept
+    with :func:`~repro.core.oracle.build_oracle` (the vectorized batch
+    engine path) against the matching restricted space, and the groups are
+    merged into one table.  Snippet names are unique within a scenario
+    trace, so the merge is collision free.
+    """
+    spaces = restricted_spaces(base_space, trace)
+    by_cap: Dict[Optional[int], List[Snippet]] = {}
+    for step, snippet in enumerate(trace.snippets):
+        by_cap.setdefault(trace.cap_at(step), []).append(snippet)
+    table = OracleTable(objective_name=objective.name)
+    for cap, snippets in by_cap.items():
+        space = base_space if cap is None else spaces[cap]
+        group_table = build_oracle(simulator, space, snippets, objective,
+                                   cache=cache)
+        table.entries.update(group_table.entries)
+    return table
+
+
+def run_policy_on_scenario(
+    simulator: SoCSimulator,
+    base_space: ConfigurationSpace,
+    policy: DRMPolicy,
+    trace: ScenarioTrace,
+    oracle_table: Optional[OracleTable] = None,
+    rng: Optional[np.random.Generator] = None,
+    reset_policy: bool = True,
+) -> PolicyRunResult:
+    """Run ``policy`` over a scenario trace, enforcing its throttle windows.
+
+    Thin wrapper around
+    :func:`~repro.core.framework.run_policy_on_snippets`: the scenario's
+    space schedule is installed so that decisions issued during a throttle
+    window are clamped into the restricted space before execution.
+    """
+    return run_policy_on_snippets(
+        simulator,
+        base_space,
+        policy,
+        trace.snippets,
+        oracle_table=oracle_table,
+        rng=rng,
+        reset_policy=reset_policy,
+        space_schedule=make_space_schedule(base_space, trace),
+    )

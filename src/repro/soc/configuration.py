@@ -86,6 +86,7 @@ class ConfigurationSpace:
         allow_core_gating: bool = False,
         min_active_cores: int = 1,
         gated_clusters: Optional[Sequence[str]] = None,
+        max_opp_indices: Optional[Dict[str, int]] = None,
     ) -> None:
         self.platform = platform
         self.allow_core_gating = bool(allow_core_gating)
@@ -97,6 +98,20 @@ class ConfigurationSpace:
             if unknown:
                 raise KeyError(f"unknown clusters in gated_clusters: {sorted(unknown)}")
             self.gated_clusters = set(gated_clusters) if self.allow_core_gating else set()
+        # Per-cluster OPP-index caps (thermal-throttling scenarios shrink the
+        # space by capping the highest reachable OPP).  Caps are clamped to
+        # the platform's OPP table and only stored when they actually bind.
+        self.max_opp_indices: Dict[str, int] = {}
+        if max_opp_indices:
+            unknown = set(max_opp_indices) - set(platform.clusters)
+            if unknown:
+                raise KeyError(f"unknown clusters in max_opp_indices: {sorted(unknown)}")
+            for name, cap in max_opp_indices.items():
+                if int(cap) < 0:
+                    raise ValueError(f"max_opp_indices[{name!r}] must be >= 0")
+                top = len(platform.clusters[name].opps) - 1
+                if int(cap) < top:
+                    self.max_opp_indices[name] = int(cap)
         self.cluster_order: List[str] = sorted(platform.clusters.keys())
         self._configs: List[SoCConfiguration] = self._enumerate()
         self._index: Dict[SoCConfiguration, int] = {
@@ -104,13 +119,20 @@ class ConfigurationSpace:
         }
         self._batch_arrays: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
         self._cache_key: Optional[Tuple] = None
+        self._restrictions: Dict[Tuple[Tuple[str, int], ...],
+                                 "ConfigurationSpace"] = {}
+
+    def _max_opp_index(self, cluster: str) -> int:
+        """Highest reachable OPP index of ``cluster`` under the active caps."""
+        top = len(self.platform.clusters[cluster].opps) - 1
+        return min(top, self.max_opp_indices.get(cluster, top))
 
     def _enumerate(self) -> List[SoCConfiguration]:
         opp_ranges = []
         core_ranges = []
         for name in self.cluster_order:
             spec = self.platform.clusters[name]
-            opp_ranges.append(range(len(spec.opps)))
+            opp_ranges.append(range(self._max_opp_index(name) + 1))
             if name in self.gated_clusters:
                 core_ranges.append(range(self.min_active_cores, spec.n_cores + 1))
             else:
@@ -150,9 +172,79 @@ class ConfigurationSpace:
         core_map = {}
         for name in self.cluster_order:
             spec = self.platform.clusters[name]
-            opp_map[name] = len(spec.opps) // 2
+            opp_map[name] = min(len(spec.opps) // 2, self._max_opp_index(name))
             core_map[name] = spec.n_cores
         return SoCConfiguration.from_dicts(opp_map, core_map)
+
+    def restrict(
+        self,
+        max_opp_index: Optional[int] = None,
+        max_opp_indices: Optional[Dict[str, int]] = None,
+    ) -> "ConfigurationSpace":
+        """Return a copy of this space with the OPP range capped per cluster.
+
+        ``max_opp_index`` applies one cap to every cluster; ``max_opp_indices``
+        sets per-cluster caps (both may be given — the tighter bound wins, and
+        caps already active on this space are also kept).  This is how thermal
+        throttling events shrink the reachable configuration space: the
+        restricted space is a genuine :class:`ConfigurationSpace` (subset of
+        this one's configurations), with its own :meth:`cache_key`, so Oracle
+        entries computed against the full space are never reused for it.
+
+        Restrictions are memoised per base space: asking for the same
+        effective caps again (each policy run of a throttled scenario does)
+        returns the already-enumerated space instead of re-enumerating the
+        cross product; a non-binding restriction returns this space itself.
+        """
+        caps: Dict[str, int] = {}
+        for name in self.cluster_order:
+            candidates = [self._max_opp_index(name)]
+            if max_opp_index is not None:
+                candidates.append(int(max_opp_index))
+            if max_opp_indices and name in max_opp_indices:
+                candidates.append(int(max_opp_indices[name]))
+            caps[name] = min(candidates)
+        binding = tuple(sorted(
+            (name, cap) for name, cap in caps.items()
+            if cap < len(self.platform.clusters[name].opps) - 1
+        ))
+        if binding == tuple(sorted(self.max_opp_indices.items())):
+            return self
+        if binding not in self._restrictions:
+            self._restrictions[binding] = ConfigurationSpace(
+                self.platform,
+                allow_core_gating=self.allow_core_gating,
+                min_active_cores=self.min_active_cores,
+                gated_clusters=(sorted(self.gated_clusters)
+                                if self.allow_core_gating else None),
+                max_opp_indices=caps,
+            )
+        return self._restrictions[binding]
+
+    def clamp(self, config: SoCConfiguration) -> SoCConfiguration:
+        """Project ``config`` onto this space (per-knob clamping).
+
+        Used when a policy that reasons over the full space issues a decision
+        while a throttling restriction is active: each cluster's OPP index is
+        clamped into the allowed range and the core count into the allowed
+        gating range, which always lands inside the space because the space is
+        a full cross product of the per-cluster ranges.
+        """
+        opp_map, core_map = config.as_dicts()
+        for name in self.cluster_order:
+            spec = self.platform.clusters[name]
+            opp_map[name] = max(0, min(opp_map.get(name, 0),
+                                       self._max_opp_index(name)))
+            if name in self.gated_clusters:
+                core_map[name] = max(self.min_active_cores,
+                                     min(core_map.get(name, spec.n_cores),
+                                         spec.n_cores))
+            else:
+                core_map[name] = spec.n_cores
+        clamped = SoCConfiguration.from_dicts(opp_map, core_map)
+        if clamped not in self._index:
+            raise KeyError(f"clamped configuration not in space: {clamped}")
+        return clamped
 
     def neighbors(self, config: SoCConfiguration, radius: int = 1,
                   include_self: bool = True) -> List[SoCConfiguration]:
@@ -228,7 +320,13 @@ class ConfigurationSpace:
 
         Includes every platform parameter that feeds the simulator's power
         and performance models, so two same-named platforms with different
-        OPP tables or coefficients never share cache entries.
+        OPP tables or coefficients never share cache entries.  The active
+        OPP-index caps (scenario throttling restrictions) are part of the key
+        in addition to the enumerated configuration list, so a restricted
+        space never aliases the full space's Oracle entries; caps are
+        normalised at construction (non-binding caps are dropped), so a
+        degenerate restriction that keeps every configuration keys — and
+        correctly shares — exactly like the unrestricted space.
         """
         if self._cache_key is None:
             clusters = []
@@ -250,6 +348,7 @@ class ConfigurationSpace:
                 self.platform.memory_power_w_per_gbps,
                 self.platform.base_power_w,
                 tuple(clusters),
+                tuple(sorted(self.max_opp_indices.items())),
                 tuple(self._configs),
             )
         return self._cache_key

@@ -9,11 +9,23 @@ generators, and the learning algorithms.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 SeedLike = Union[int, np.random.Generator, None]
+
+
+def stable_name_id(name: str) -> int:
+    """Process-independent integer id for a name (CRC32 of its UTF-8 bytes).
+
+    Use this — never built-in ``hash()`` — when deriving seed-stream keys
+    from strings: str hashing is randomised per interpreter
+    (``PYTHONHASHSEED``), which silently breaks cross-process
+    reproducibility and the ``--jobs``-invariance guarantees.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -24,7 +24,7 @@ from typing import Dict, List
 
 from repro.gpu.frames import FrameTrace, generate_frame_trace
 from repro.gpu.gpu import GPUSpec, default_integrated_gpu
-from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.rng import SeedLike, derive_seed, stable_name_id
 
 
 @dataclass(frozen=True)
@@ -135,6 +135,9 @@ def get_graphics_workload(
         phase_amplitude=spec.phase_amplitude,
         memory_bytes_per_cycle=spec.memory_bytes_per_cycle,
         target_fps=spec.target_fps,
-        seed=derive_seed(seed, [hash(key) % (2**16)]),
+        # The benchmark's stream id must be process independent: built-in
+        # str hashing is randomised per interpreter (PYTHONHASHSEED), which
+        # made "identical" traces differ across worker processes and runs.
+        seed=derive_seed(seed, [stable_name_id(key) % (2**16)]),
         description=spec.description,
     )

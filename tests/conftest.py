@@ -19,6 +19,14 @@ from repro.workloads.generator import SnippetTraceGenerator
 from repro.workloads.suites import training_workloads
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current code instead of "
+             "comparing against them (equivalent to REPRO_REGEN_GOLDENS=1)",
+    )
+
+
 @pytest.fixture(scope="session")
 def platform():
     return odroid_xu3_like()

@@ -1,0 +1,186 @@
+"""Golden-trace regression tests for every registered experiment driver.
+
+Each registered experiment runs at TINY scale with seed 0 through the same
+registry path the CLI uses; its result object is converted to a stable
+JSON-compatible summary and compared against the committed golden under
+``tests/goldens/``.  The scenario engine additionally gets a per-scenario
+golden of the transformed traces themselves.
+
+Regenerating goldens (after an intentional behaviour change)::
+
+    REPRO_REGEN_GOLDENS=1 python -m pytest tests/test_goldens.py -q
+    # or
+    python -m pytest tests/test_goldens.py -q --regen-goldens
+
+See ``tests/README.md`` for when regeneration is appropriate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    available_experiments,
+    get_experiment,
+)
+from repro.experiments.scales import TINY
+from repro.scenarios import available_scenarios, get_scenario
+from repro.workloads.sequences import build_online_sequence
+from repro.workloads.suites import unseen_workloads
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Relative tolerance for float comparison.  Results are bitwise
+#: reproducible on one machine; the tolerance only absorbs benign
+#: last-digit drift across BLAS builds.  Anything larger means behaviour
+#: changed and the golden must be regenerated deliberately.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def _regen(request) -> bool:
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":
+        return True
+    return bool(request.config.getoption("--regen-goldens"))
+
+
+# --------------------------------------------------------------------- #
+# Result object -> JSON-compatible summary
+# --------------------------------------------------------------------- #
+def to_jsonable(obj):
+    """Recursively convert a result object into JSON-compatible data.
+
+    Dataclasses become dicts tagged with their type name, numpy values
+    become plain Python numbers/lists, and anything non-serializable (a
+    framework, a policy, a simulator held by a result) is reduced to an
+    opaque type marker so goldens stay small and stable.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__dataclass__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = to_jsonable(getattr(obj, field.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    return {"__opaque__": type(obj).__name__}
+
+
+def assert_matches(expected, actual, path="$"):
+    """Recursive comparison with float tolerance and precise diagnostics."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert isinstance(actual, (int, float)) and isinstance(
+            expected, (int, float)
+        ), f"{path}: type mismatch ({type(expected).__name__} vs "\
+           f"{type(actual).__name__})"
+        both_nan = (isinstance(expected, float) and math.isnan(expected)
+                    and isinstance(actual, float) and math.isnan(actual))
+        assert both_nan or math.isclose(
+            float(expected), float(actual), rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), f"{path}: {expected!r} != {actual!r}"
+        return
+    assert type(expected) is type(actual), (
+        f"{path}: type mismatch ({type(expected).__name__} vs "
+        f"{type(actual).__name__})"
+    )
+    if isinstance(expected, dict):
+        assert expected.keys() == actual.keys(), (
+            f"{path}: keys differ (missing {sorted(expected.keys() - actual.keys())}, "
+            f"extra {sorted(actual.keys() - expected.keys())})"
+        )
+        for key in expected:
+            assert_matches(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(expected)} != {len(actual)}"
+        )
+        for i, (exp, act) in enumerate(zip(expected, actual)):
+            assert_matches(exp, act, f"{path}[{i}]")
+    else:
+        assert expected == actual, f"{path}: {expected!r} != {actual!r}"
+
+
+def check_golden(name: str, summary, request) -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if _regen(request):
+        golden_path.write_text(
+            json.dumps(summary, indent=1, sort_keys=True) + "\n"
+        )
+    if not golden_path.exists():
+        pytest.fail(
+            f"golden {golden_path} is missing; generate it with "
+            "REPRO_REGEN_GOLDENS=1 python -m pytest tests/test_goldens.py"
+        )
+    expected = json.loads(golden_path.read_text())
+    assert_matches(expected, summary, path=name)
+
+
+# --------------------------------------------------------------------- #
+# Experiment goldens
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def golden_context():
+    """One shared context so figure3/figure4 reuse the adaptation study."""
+    return ExperimentContext()
+
+
+@pytest.mark.parametrize("name", available_experiments())
+def test_experiment_golden(name, golden_context, request):
+    spec = get_experiment(name)
+    result = spec.runner(TINY, 0, golden_context)
+    # Formatting must also succeed on the golden result (CLI path).
+    assert isinstance(spec.format_result(result), str)
+    check_golden(name, to_jsonable(result), request)
+
+
+# --------------------------------------------------------------------- #
+# Scenario-trace goldens (one digest per registered scenario)
+# --------------------------------------------------------------------- #
+def _trace_digest(trace) -> dict:
+    chars = np.array(
+        [list(s.characteristics.as_dict().values()) for s in trace.snippets]
+    )
+    return {
+        "scenario": trace.scenario_name,
+        "n_snippets": len(trace),
+        "snippet_names": [s.name for s in trace.snippets],
+        "characteristics_sum": to_jsonable(chars.sum(axis=0)),
+        "throttle_events": [
+            {"start": e.start, "stop": e.stop, "max_opp_index": e.max_opp_index}
+            for e in trace.throttle_events
+        ],
+        "throttled_steps": trace.throttled_steps(),
+    }
+
+
+@pytest.mark.parametrize("scenario_name", available_scenarios())
+def test_scenario_trace_golden(scenario_name, request):
+    base = build_online_sequence(
+        specs=unseen_workloads(),
+        snippet_factor=TINY.sequence_snippet_factor,
+        seed=0,
+    )
+    trace = get_scenario(scenario_name).apply(base.snippets, 123)
+    check_golden(f"scenario_{scenario_name}", _trace_digest(trace), request)

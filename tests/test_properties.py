@@ -1,0 +1,228 @@
+"""Property-based randomized invariant tests.
+
+No hypothesis-style library is available in the environment, so each
+property is checked over a seeded family of random platforms, snippets,
+traces and configurations — every draw is reproducible from the parametrized
+seed.  The invariants:
+
+* physics: energy/time/power of any execution are positive and finite;
+* batch == scalar parity for all three ``evaluate_batch`` engines
+  (SoC, GPU, NoC) on randomized inputs;
+* Oracle optimality: no policy can beat the Oracle table on the same
+  snippets under noise-free execution, full or restricted space;
+* decision-tree classifiers: ``predict`` equals the argmax of
+  ``predict_proba`` for every sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.policy import RandomPolicy, StaticPolicy
+from repro.core.framework import run_policy_on_snippets
+from repro.core.objectives import ENERGY
+from repro.core.oracle import build_oracle
+from repro.gpu.gpu import GPUConfiguration, default_integrated_gpu
+from repro.gpu.simulator import GPUSimulator
+from repro.ml.tree import DecisionTreeClassifier
+from repro.noc.router import RouterConfig
+from repro.noc.simulator import NoCSimulator
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import UniformRandomTraffic
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.platform import generic_big_little
+from repro.soc.simulator import SoCSimulator
+from repro.soc.snippet import Snippet, SnippetCharacteristics
+from repro.workloads.graphics import get_graphics_workload
+
+PROPERTY_SEEDS = list(range(8))
+
+
+def random_platform(rng: np.random.Generator):
+    return generic_big_little(
+        n_big_cores=int(rng.integers(1, 5)),
+        n_little_cores=int(rng.integers(1, 5)),
+        n_big_levels=int(rng.integers(2, 7)),
+        n_little_levels=int(rng.integers(2, 5)),
+        big_max_frequency_hz=float(rng.uniform(1.6e9, 2.8e9)),
+        little_max_frequency_hz=float(rng.uniform(0.8e9, 1.6e9)),
+    )
+
+
+def random_characteristics(rng: np.random.Generator) -> SnippetCharacteristics:
+    return SnippetCharacteristics(
+        memory_intensity=float(rng.uniform(0.0, 25.0)),
+        memory_access_rate=float(rng.uniform(0.0, 1.0)),
+        external_request_rate=float(rng.uniform(0.0, 1.0)),
+        branch_misprediction_mpki=float(rng.uniform(0.0, 12.0)),
+        ilp_factor=float(rng.uniform(0.1, 1.0)),
+        parallel_fraction=float(rng.uniform(0.0, 1.0)),
+        thread_count=int(rng.integers(1, 9)),
+        big_fraction=float(rng.uniform(0.05, 1.0)),
+    )
+
+
+def random_snippet(rng: np.random.Generator, index: int = 0,
+                   application: str = "random") -> Snippet:
+    return Snippet(
+        application=application,
+        index=index,
+        n_instructions=float(rng.uniform(1e6, 5e7)),
+        characteristics=random_characteristics(rng),
+    )
+
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+class TestPhysicalInvariants:
+    def test_energy_time_power_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        platform = random_platform(rng)
+        space = ConfigurationSpace(platform)
+        simulator = SoCSimulator(platform, noise_scale=0.02, seed=seed)
+        for _ in range(4):
+            snippet = random_snippet(rng)
+            config = space.random_configuration(rng)
+            for result in (simulator.run_snippet(snippet, config, rng=rng),
+                           simulator.evaluate_expected(snippet, config)):
+                assert np.isfinite(result.energy_j) and result.energy_j > 0.0
+                assert np.isfinite(result.execution_time_s)
+                assert result.execution_time_s > 0.0
+                assert np.isfinite(result.average_power_w)
+                assert result.average_power_w > 0.0
+                counters = result.counters.as_dict()
+                assert all(np.isfinite(v) and v >= 0.0
+                           for v in counters.values()), counters
+
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+class TestBatchScalarParity:
+    def test_soc_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        platform = random_platform(rng)
+        space = ConfigurationSpace(platform)
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=seed)
+        snippet = random_snippet(rng)
+        batch = simulator.evaluate_expected_batch(snippet, space)
+        for i, config in enumerate(space):
+            reference = simulator.evaluate_expected(snippet, config)
+            assert batch.energy_j[i] == reference.energy_j
+            assert batch.execution_time_s[i] == reference.execution_time_s
+            assert batch.average_power_w[i] == reference.average_power_w
+
+    def test_gpu_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        gpu_spec = default_integrated_gpu()
+        gpu = GPUSimulator(gpu_spec, seed=seed)
+        trace = get_graphics_workload(
+            "nenamark2", gpu=gpu_spec,
+            n_frames=int(rng.integers(5, 30)), seed=seed,
+        )
+        configs = [
+            GPUConfiguration(
+                opp_index=int(rng.integers(0, len(gpu_spec.opps))),
+                active_slices=int(rng.integers(1, gpu_spec.n_slices + 1)),
+            )
+            for _ in range(3)
+        ]
+        batch = gpu.evaluate_batch(trace, configs)
+        for i, config in enumerate(configs):
+            reference = gpu.run_fixed(trace, config, deterministic=True)
+            materialized = batch.summary_at(i)
+            assert materialized.gpu_energy_j == reference.gpu_energy_j
+            assert materialized.achieved_fps == reference.achieved_fps
+            assert (materialized.deadline_miss_rate
+                    == reference.deadline_miss_rate)
+
+    def test_noc_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        width = int(rng.integers(2, 4))
+        topology = MeshTopology(width, width)
+        rate = float(rng.uniform(0.02, 0.10))
+        n_cycles = int(rng.integers(40, 120))
+        configs = [
+            RouterConfig(),
+            RouterConfig(router_delay_cycles=int(rng.integers(2, 6))),
+        ]
+        batch = NoCSimulator(topology).evaluate_batch(
+            UniformRandomTraffic(topology, injection_rate=rate, seed=seed),
+            configs, n_cycles=n_cycles,
+        )
+        for config, result in zip(configs, batch):
+            traffic = UniformRandomTraffic(topology, injection_rate=rate,
+                                           seed=seed)
+            reference = NoCSimulator(topology, config).run_packets(
+                traffic.generate(n_cycles), n_cycles
+            )
+            assert (
+                [(p.packet_id, p.ejection_cycle) for p in result.delivered_packets]
+                == [(p.packet_id, p.ejection_cycle)
+                    for p in reference.delivered_packets]
+            )
+
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+class TestOracleOptimality:
+    def _random_trace(self, rng, n):
+        return [random_snippet(rng, index=i) for i in range(n)]
+
+    def test_no_policy_beats_the_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        platform = random_platform(rng)
+        space = ConfigurationSpace(platform)
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=seed)
+        snippets = self._random_trace(rng, int(rng.integers(3, 8)))
+        table = build_oracle(simulator, space, snippets, ENERGY)
+        policies = [
+            StaticPolicy(space, space.random_configuration(rng)),
+            RandomPolicy(space, seed=seed),
+        ]
+        for policy in policies:
+            run = run_policy_on_snippets(simulator, space, policy, snippets,
+                                         oracle_table=table)
+            oracle_energy = table.total_cost(snippets)
+            assert oracle_energy <= run.total_energy_j * (1.0 + 1e-12)
+            # Per snippet too: the entry is the minimum over the space.
+            for result in run.results:
+                entry = table.entry(result.snippet)
+                assert entry.best_cost <= result.energy_j * (1.0 + 1e-12)
+
+    def test_restricted_oracle_never_beats_full(self, seed):
+        rng = np.random.default_rng(seed)
+        platform = random_platform(rng)
+        space = ConfigurationSpace(platform)
+        cap = int(rng.integers(0, max(1, len(platform.clusters["big"].opps) - 1)))
+        restricted = space.restrict(max_opp_index=cap)
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=seed)
+        snippets = self._random_trace(rng, 4)
+        full = build_oracle(simulator, space, snippets, ENERGY)
+        part = build_oracle(simulator, restricted, snippets, ENERGY)
+        for snippet in snippets:
+            assert (full.entry(snippet).best_cost
+                    <= part.entry(snippet).best_cost * (1.0 + 1e-12))
+            assert restricted.contains(part.entry(snippet).best_configuration)
+
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+class TestTreeClassifierConsistency:
+    @pytest.mark.parametrize("split_search", ["vectorized", "scalar"])
+    def test_predict_matches_proba_argmax(self, seed, split_search):
+        rng = np.random.default_rng(seed)
+        n_samples = int(rng.integers(30, 90))
+        n_classes = int(rng.integers(2, 5))
+        features = rng.normal(size=(n_samples, 3))
+        # Labels correlated with the features so the tree has real splits,
+        # offset so class labels are not simply 0..n-1.
+        labels = (np.digitize(features[:, 0] + 0.3 * features[:, 1],
+                              np.linspace(-1.5, 1.5, n_classes - 1))
+                  + 5) if n_classes > 1 else np.full(n_samples, 5)
+        tree = DecisionTreeClassifier(max_depth=6, split_search=split_search)
+        tree.fit(features, labels)
+        probe = np.vstack([features, rng.normal(size=(20, 3))])
+        predictions = tree.predict(probe)
+        probabilities = tree.predict_proba(probe)
+        assert probabilities.shape == (len(probe), len(tree.classes_))
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(
+            predictions, tree.classes_[np.argmax(probabilities, axis=1)]
+        )

@@ -10,9 +10,14 @@ ties the analytical models, the policies and the SoC simulator together
 from repro.core.engine import SimulationEngine, available_engines, engine_class
 from repro.core.objectives import Objective, ENERGY, EDP, PERFORMANCE, PPW
 from repro.core.oracle import OracleCache, OraclePolicy, OracleTable, build_oracle
+from repro.core.oracle_store import (
+    OracleStore,
+    get_default_oracle_store,
+    set_default_oracle_store,
+)
 from repro.core.offline_il import OfflineILPolicy, ILDataset, collect_il_dataset
 from repro.core.buffer import AggregationBuffer
-from repro.core.runtime_oracle import RuntimeOracle
+from repro.core.runtime_oracle import CandidateBatch, RuntimeOracle
 from repro.core.online_il import OnlineILPolicy
 from repro.core.framework import (
     OnlineLearningFramework,
@@ -25,6 +30,9 @@ __all__ = [
     "available_engines",
     "engine_class",
     "OracleCache",
+    "OracleStore",
+    "get_default_oracle_store",
+    "set_default_oracle_store",
     "Objective",
     "ENERGY",
     "EDP",
@@ -38,6 +46,7 @@ __all__ = [
     "collect_il_dataset",
     "AggregationBuffer",
     "RuntimeOracle",
+    "CandidateBatch",
     "OnlineILPolicy",
     "OnlineLearningFramework",
     "PolicyRunResult",

@@ -25,6 +25,7 @@ from repro.core.objectives import ENERGY, Objective
 from repro.core.offline_il import ILDataset, OfflineILPolicy, collect_il_dataset
 from repro.core.online_il import OnlineILPolicy
 from repro.core.oracle import OracleCache, OraclePolicy, OracleTable, build_oracle
+from repro.core.oracle_store import OracleStore
 from repro.core.runtime_oracle import RuntimeOracle
 from repro.models.performance import CpuPerformanceModel
 from repro.models.power import CpuPowerModel
@@ -182,6 +183,7 @@ class OnlineLearningFramework:
         allow_core_gating: bool = False,
         noise_scale: float = 0.01,
         seed: SeedLike = 0,
+        oracle_store: Optional["OracleStore"] = None,
     ) -> None:
         self.platform = platform or odroid_xu3_like()
         self.objective = objective
@@ -201,8 +203,11 @@ class OnlineLearningFramework:
                                       seed=self._sim_rng)
         # Oracle construction is deterministic, so entries computed during
         # offline training are reused verbatim by every later evaluation
-        # instead of re-sweeping the configuration space per call.
-        self.oracle_cache = OracleCache()
+        # instead of re-sweeping the configuration space per call.  When an
+        # on-disk store is available (passed explicitly or installed as the
+        # process default), the cache also shares entries across processes
+        # and invocations.
+        self.oracle_cache = OracleCache(store=oracle_store)
         self.trace_generator = SnippetTraceGenerator(seed=self._workload_rng)
         self.offline_policy: Optional[OfflineILPolicy] = None
         self.offline_dataset: Optional[ILDataset] = None
@@ -258,12 +263,21 @@ class OnlineLearningFramework:
 
     def _bootstrap_models(self, snippets: Sequence[Snippet],
                           oracle_table: OracleTable) -> None:
-        """Warm-start the online models from design-time executions."""
+        """Warm-start the online models from design-time executions.
+
+        The Oracle sweep already evaluated every training snippet at its
+        best configuration (the entry's noise-free ``best_result``), so
+        instead of re-running the full per-cluster simulation per snippet we
+        re-noise that cached result via
+        :meth:`~repro.soc.simulator.SoCSimulator.apply_noise` — bitwise
+        identical observations (and identical generator stream) at a
+        fraction of the cost.
+        """
         for snippet in snippets:
-            config = oracle_table.best_configuration(snippet)
-            result = self.simulator.run_snippet(snippet, config)
-            self.power_model.update(result.counters, config)
-            self.performance_model.update(result.counters, config)
+            entry = oracle_table.entry(snippet)
+            result = self.simulator.apply_noise(entry.best_result)
+            self.power_model.update(result.counters, entry.best_configuration)
+            self.performance_model.update(result.counters, entry.best_configuration)
 
     # ------------------------------------------------------------------ #
     # Policy constructors

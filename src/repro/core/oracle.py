@@ -22,6 +22,12 @@ import numpy as np
 
 from repro.control.policy import DRMPolicy
 from repro.core.objectives import ENERGY, Objective
+from repro.core.oracle_store import (
+    OracleStore,
+    code_fingerprint,
+    content_digest,
+    get_default_oracle_store,
+)
 from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
 from repro.soc.counters import PerformanceCounters
 from repro.soc.simulator import SnippetResult, SoCSimulator
@@ -117,6 +123,106 @@ def objective_cache_key(objective: Objective) -> Tuple[str, object]:
     return (objective.name, objective.cost)
 
 
+def _state_repr(value) -> str:
+    """Content-faithful repr of digest material.
+
+    ``repr`` of a large ndarray truncates (``...``), which could alias two
+    different captured arrays; digest the full buffer instead.  Everything
+    else uses plain ``repr`` — identity-based reprs digest uniquely per
+    object, so such state never falsely *hits* the store (it merely never
+    shares shards, the safe direction).
+    """
+    if isinstance(value, np.ndarray):
+        return content_digest(str(value.dtype), value.shape, value.tobytes())
+    return repr(value)
+
+
+def _states_repr(values) -> Tuple[str, ...]:
+    if values is None:
+        return ()
+    return tuple(_state_repr(value) for value in values)
+
+
+def persistent_objective_key(objective: Objective) -> Tuple:
+    """Cross-process content key for an objective.
+
+    The in-memory key uses the cost callable's identity, which does not
+    survive pickling to another process.  For the on-disk store the cost
+    function is identified by where it lives plus a digest of its bytecode,
+    default arguments and closure-cell values, so a custom objective
+    reusing a built-in name still gets its own shards, an edited cost
+    function invalidates old ones, and two parameterised closures over
+    different values (same bytecode, different cells) never alias.
+    """
+    cost = objective.cost
+    code = getattr(cost, "__code__", None)
+    if code is not None:
+        closure = getattr(cost, "__closure__", None)
+        cells = (tuple(_state_repr(cell.cell_contents) for cell in closure)
+                 if closure else ())
+        code_digest = content_digest(
+            code.co_code,
+            repr(code.co_consts),
+            _states_repr(getattr(cost, "__defaults__", None)),
+            repr(getattr(cost, "__kwdefaults__", None)),
+            cells,
+        )
+    else:
+        # Callable object (class instance, functools.partial, ...): no
+        # bytecode to identify it by, so digest the instance state and the
+        # object's repr.  A default (identity-based) repr makes the digest
+        # unique per object — such costs never alias a stored shard, they
+        # just never share one either, which is the safe direction.
+        state = getattr(cost, "__dict__", None)
+        state_repr = (repr({key: _state_repr(value)
+                            for key, value in sorted(state.items())})
+                      if isinstance(state, dict) else repr(state))
+        code_digest = content_digest(
+            type(cost).__module__,
+            type(cost).__qualname__,
+            state_repr,
+            repr(cost),
+        )
+    return (
+        objective.name,
+        getattr(cost, "__module__", ""),
+        getattr(cost, "__qualname__", type(cost).__qualname__),
+        code_digest,
+    )
+
+
+def persistent_entry_digest(snippet: Snippet, space: ConfigurationSpace,
+                            objective: Objective) -> str:
+    """Shard digest for one (snippet, space, objective) Oracle entry.
+
+    Includes the :func:`~repro.core.oracle_store.code_fingerprint` of the
+    modules the entry's semantics depend on, so a store written by older
+    simulator/Oracle code cleanly misses instead of serving stale results.
+    """
+    return content_digest(
+        snippet_cache_key(snippet),
+        space_cache_key(space),
+        persistent_objective_key(objective),
+        code_fingerprint(),
+    )
+
+
+#: Process-wide cache-activity counters aggregated over every OracleCache
+#: instance; the experiment runner snapshots them around each seed run to
+#: surface hit/miss counts in the run metadata.
+_GLOBAL_CACHE_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "store_hits": 0,
+    "store_misses": 0,
+}
+
+
+def cache_stats_snapshot() -> Dict[str, int]:
+    """Copy of the process-wide OracleCache activity counters."""
+    return dict(_GLOBAL_CACHE_STATS)
+
+
 class OracleCache:
     """Memo of Oracle entries keyed by (snippet, space, objective).
 
@@ -127,12 +233,23 @@ class OracleCache:
     ``evaluate_policy_on_snippets`` then stop re-sweeping snippets they have
     already solved.  Keys are derived from content, never object identity,
     so regenerated-but-identical snippets still hit.
+
+    An optional :class:`~repro.core.oracle_store.OracleStore` layers a
+    persistent, cross-process tier underneath: in-memory misses fall
+    through to the store, and freshly computed entries are written through
+    to it, so worker processes and later CLI invocations skip sweeps any
+    process has ever completed.  ``store=None`` (the default) adopts the
+    process-wide default store, if one is installed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[OracleStore] = None) -> None:
         self._entries: Dict[Tuple, OracleEntry] = {}
+        self.store_backend = (store if store is not None
+                              else get_default_oracle_store())
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -142,22 +259,48 @@ class OracleCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> Dict[str, int]:
+        """This cache's hit/miss counters (memory tier and store tier)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+        }
+
     def lookup(self, snippet: Snippet, space: ConfigurationSpace,
                objective: Objective) -> Optional[OracleEntry]:
         key = (snippet_cache_key(snippet), space_cache_key(space),
                objective_cache_key(objective))
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-        else:
+        if entry is not None:
             self.hits += 1
-        return entry
+            _GLOBAL_CACHE_STATS["hits"] += 1
+            return entry
+        self.misses += 1
+        _GLOBAL_CACHE_STATS["misses"] += 1
+        if self.store_backend is not None:
+            stored = self.store_backend.get(
+                persistent_entry_digest(snippet, space, objective)
+            )
+            if stored is not None:
+                self._entries[key] = stored
+                self.store_hits += 1
+                _GLOBAL_CACHE_STATS["store_hits"] += 1
+                return stored
+            self.store_misses += 1
+            _GLOBAL_CACHE_STATS["store_misses"] += 1
+        return None
 
     def store(self, snippet: Snippet, space: ConfigurationSpace,
               objective: Objective, entry: OracleEntry) -> OracleEntry:
         key = (snippet_cache_key(snippet), space_cache_key(space),
                objective_cache_key(objective))
         self._entries[key] = entry
+        if self.store_backend is not None:
+            self.store_backend.put(
+                persistent_entry_digest(snippet, space, objective), entry
+            )
         return entry
 
     def invalidate_snippet(self, snippet: Snippet) -> int:
@@ -172,6 +315,8 @@ class OracleCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
 
 
 def _best_entry(

@@ -11,12 +11,23 @@ the simulator!) for the predicted power and execution time of each candidate
 configuration, reusing the counters observed at the current configuration as
 the paper prescribes, and returns the candidate minimising the predicted
 energy (or energy-delay product).
+
+The candidate sweep is vectorized end to end (``mode="batch"``, the
+default): the neighbourhood comes from the configuration space's memoised
+index tables, the candidate features form one ``(n_candidates, n_features)``
+matrix, and both model predictions are single array operations.  The
+original per-candidate loop is retained as the equivalence reference
+(``mode="scalar"``), mirroring the scalar/vectorized dual-path pattern of
+the engine sweep and the ML tree kernels: both modes pick the same argmin
+with the same first-minimum tie-breaking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.models.performance import CpuPerformanceModel
 from repro.models.power import CpuPowerModel
@@ -41,6 +52,40 @@ class CandidateEstimate:
         return self.predicted_energy_j * self.predicted_time_s
 
 
+@dataclass
+class CandidateBatch:
+    """Struct-of-arrays estimates for a whole candidate neighbourhood.
+
+    Produced by :meth:`RuntimeOracle.candidate_batch`; arrays are aligned
+    with ``candidate_indices`` (indices into the configuration space).
+    """
+
+    candidate_indices: np.ndarray
+    predicted_power_w: np.ndarray
+    predicted_time_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.candidate_indices)
+
+    @property
+    def predicted_energy_j(self) -> np.ndarray:
+        return self.predicted_power_w * self.predicted_time_s
+
+    @property
+    def predicted_edp(self) -> np.ndarray:
+        return self.predicted_energy_j * self.predicted_time_s
+
+    def estimate_at(self, position: int,
+                    space: ConfigurationSpace) -> CandidateEstimate:
+        """Materialise the scalar :class:`CandidateEstimate` at one position."""
+        i = int(position)
+        return CandidateEstimate(
+            configuration=space[int(self.candidate_indices[i])],
+            predicted_power_w=float(self.predicted_power_w[i]),
+            predicted_time_s=float(self.predicted_time_s[i]),
+        )
+
+
 class RuntimeOracle:
     """Model-driven selection of the best candidate configuration."""
 
@@ -51,21 +96,28 @@ class RuntimeOracle:
         performance_model: CpuPerformanceModel,
         neighborhood_radius: int = 2,
         metric: str = "energy",
+        mode: str = "batch",
     ) -> None:
         if neighborhood_radius < 1:
             raise ValueError("neighborhood_radius must be >= 1")
         if metric not in ("energy", "edp"):
             raise ValueError("metric must be 'energy' or 'edp'")
+        if mode not in ("batch", "scalar"):
+            raise ValueError("mode must be 'batch' or 'scalar'")
         self.space = space
         self.power_model = power_model
         self.performance_model = performance_model
         self.neighborhood_radius = int(neighborhood_radius)
         self.metric = metric
+        self.mode = mode
 
     def candidate_estimates(
         self, counters: PerformanceCounters, current: SoCConfiguration
     ) -> List[CandidateEstimate]:
-        """Predicted power/time/energy for every candidate configuration."""
+        """Predicted power/time/energy for every candidate configuration.
+
+        This is the scalar reference path: one model query per candidate.
+        """
         candidates = self.space.neighbors(
             current, radius=self.neighborhood_radius, include_self=True
         )
@@ -85,10 +137,53 @@ class RuntimeOracle:
             )
         return estimates
 
+    def candidate_batch(
+        self, counters: PerformanceCounters, current: SoCConfiguration
+    ) -> CandidateBatch:
+        """Vectorized candidate sweep over the current neighbourhood.
+
+        The neighbourhood is a memoised view of the space (index table plus
+        pre-gathered struct-of-arrays rows), the power prediction is one
+        matmul over the candidate feature matrix, and the time prediction
+        is pure elementwise array arithmetic (bitwise equal to
+        :meth:`~repro.models.performance.CpuPerformanceModel
+        .predict_time_s` per candidate).
+        """
+        view = self.space.neighborhood_view(
+            self.space.index_of(current), radius=self.neighborhood_radius,
+            include_self=True,
+        )
+        power = self.power_model.predict_batch(
+            counters, view.arrays, reference_config=current
+        )
+        time_s = self.performance_model.predict_time_s_batch(
+            counters, view.arrays, reference_config=current
+        )
+        return CandidateBatch(
+            candidate_indices=view.indices,
+            predicted_power_w=power,
+            predicted_time_s=time_s,
+        )
+
     def best_configuration(
         self, counters: PerformanceCounters, current: SoCConfiguration
     ) -> Tuple[SoCConfiguration, CandidateEstimate]:
-        """The candidate with the minimum predicted objective."""
+        """The candidate with the minimum predicted objective.
+
+        Both modes break ties identically: the first candidate (in
+        neighbourhood enumeration order) achieving the minimum wins —
+        ``np.argmin`` returns the first minimum exactly like the scalar
+        ``min`` over the estimate list.
+        """
+        if self.mode == "batch" and self.space.contains(current):
+            batch = self.candidate_batch(counters, current)
+            if self.metric == "energy":
+                costs = batch.predicted_energy_j
+            else:
+                costs = batch.predicted_edp
+            best_position = int(np.argmin(costs))
+            best = batch.estimate_at(best_position, self.space)
+            return best.configuration, best
         estimates = self.candidate_estimates(counters, current)
         if self.metric == "energy":
             key = lambda est: est.predicted_energy_j  # noqa: E731

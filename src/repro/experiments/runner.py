@@ -23,8 +23,15 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.oracle import cache_stats_snapshot
+from repro.core.oracle_store import (
+    OracleStore,
+    get_default_oracle_store,
+    set_default_oracle_store,
+)
 from repro.experiments.common import (
     OnlineAdaptationStudy,
     run_online_adaptation_study,
@@ -43,13 +50,25 @@ ExperimentRunnerFn = Callable[[ExperimentScale, SeedLike, "ExperimentContext"], 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One registered experiment: how to run it and how to render it."""
+    """One registered experiment: how to run it and how to render it.
+
+    ``uses_design_oracle`` marks experiments whose drivers train a framework
+    on the design-time workload suite (and therefore run the exhaustive
+    training-snippet Oracle sweep); when an on-disk Oracle store is active,
+    the runner precomputes that sweep once in the parent before fanning the
+    seeds out to worker processes.  ``design_oracle_gating`` lists the
+    ``allow_core_gating`` framework variants the driver actually trains
+    (the config-space ablation sweeps both the plain and the core-gated
+    space), so the parent warm covers every space the workers will sweep.
+    """
 
     name: str
     description: str
     runner: ExperimentRunnerFn
     formatter: Optional[Callable[[Any], str]] = None
     tags: Tuple[str, ...] = ()
+    uses_design_oracle: bool = False
+    design_oracle_gating: Tuple[bool, ...] = (False,)
 
     def format_result(self, result: Any) -> str:
         if self.formatter is not None:
@@ -69,6 +88,8 @@ def register_experiment(
     formatter: Optional[Callable[[Any], str]] = None,
     tags: Sequence[str] = (),
     overwrite: bool = False,
+    uses_design_oracle: bool = False,
+    design_oracle_gating: Sequence[bool] = (False,),
 ) -> ExperimentSpec:
     """Add an experiment to the registry (resolvable by name)."""
     if name in _EXPERIMENT_REGISTRY and not overwrite:
@@ -79,6 +100,8 @@ def register_experiment(
         runner=runner,
         formatter=formatter,
         tags=tuple(tags),
+        uses_design_oracle=bool(uses_design_oracle),
+        design_oracle_gating=tuple(design_oracle_gating),
     )
     _EXPERIMENT_REGISTRY[name] = spec
     return spec
@@ -135,11 +158,25 @@ class ExperimentContext:
 
 @dataclass
 class SeedRun:
-    """Result of one experiment at one seed."""
+    """Result of one experiment at one seed.
+
+    ``metadata`` carries execution-side observability that is not part of
+    the experiment result proper — currently the OracleCache hit/miss
+    deltas (memory tier and on-disk store tier) accumulated while the seed
+    ran.
+    """
 
     seed: SeedLike
     result: Any
     elapsed_s: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def _cache_stats_delta(before: Dict[str, int]) -> Dict[str, int]:
+    """OracleCache activity since ``before`` (a prior snapshot)."""
+    after = cache_stats_snapshot()
+    return {f"oracle_cache_{key}": after[key] - before.get(key, 0)
+            for key in after}
 
 
 #: Per-worker-process experiment context (lazily created).  Workers are
@@ -149,11 +186,64 @@ class SeedRun:
 _WORKER_CONTEXT: Optional[ExperimentContext] = None
 
 
+def _install_worker_store(store_path: Optional[str]) -> None:
+    """Adopt the parent's on-disk Oracle store inside a worker process."""
+    if store_path is None:
+        return
+    current = get_default_oracle_store()
+    if current is None or str(current.root) != store_path:
+        set_default_oracle_store(store_path)
+
+
+def _warm_design_oracle_seed(scale: ExperimentScale, seed: SeedLike,
+                             gating_variants: Sequence[bool],
+                             store: OracleStore) -> None:
+    """One seed's design-time Oracle sweep, written through to ``store``.
+
+    Regenerates the training-workload snippet traces exactly as
+    ``train_offline`` would and sweeps them once per requested
+    ``allow_core_gating`` variant; sweeps a previous run already persisted
+    resolve as store hits.
+    """
+    from repro.core.framework import OnlineLearningFramework
+    from repro.workloads.suites import training_workloads
+
+    for gating in gating_variants:
+        framework = OnlineLearningFramework(
+            seed=seed, allow_core_gating=bool(gating), oracle_store=store
+        )
+        snippets = []
+        for workload in training_workloads():
+            scaled = workload.scaled(scale.train_snippet_factor)
+            snippets.extend(framework.generate_trace(scaled))
+        framework.build_oracle_for(snippets)
+
+
+def _pooled_warm_task(
+    task: Tuple[ExperimentScale, SeedLike, Tuple[bool, ...], str]
+) -> SeedLike:
+    """Warm one seed's design-time Oracle inside a worker process.
+
+    Dispatching the warm over the pool keeps the "compute once before the
+    experiment fan-out" semantics without serialising the disjoint
+    per-seed sweeps in the parent (snippet traces are seed-dependent, so
+    on a cold store a sequential parent warm would cost ``jobs`` times the
+    wall-clock of letting the workers sweep concurrently).
+    """
+    scale, seed, gating_variants, store_path = task
+    _install_worker_store(store_path)
+    store = get_default_oracle_store()
+    assert store is not None
+    _warm_design_oracle_seed(scale, seed, gating_variants, store)
+    return seed
+
+
 def _pooled_seed_run(
-    task: Tuple[str, ExperimentScale, SeedLike, Optional[Tuple[str, ...]]]
+    task: Tuple[str, ExperimentScale, SeedLike, Optional[Tuple[str, ...]],
+                Optional[str]]
 ) -> SeedRun:
-    """Execute one ``(experiment, scale, seed, scenario_filter)`` task in a
-    worker process.
+    """Execute one ``(experiment, scale, seed, scenario_filter,
+    oracle_store_path)`` task in a worker process.
 
     The experiment is re-resolved from the registry inside the worker (specs
     hold arbitrary callables and are not sent over the wire), so only
@@ -163,18 +253,24 @@ def _pooled_seed_run(
     :func:`repro.utils.rng.spawn_rngs` inside the drivers, so results are a
     pure function of ``(scale, seed, scenario_filter)`` and therefore
     independent of how many workers execute the fan-out or how tasks land
-    on them.
+    on them.  When the parent runs with an on-disk Oracle store, its path
+    rides along in the task so every worker layers its caches over the same
+    store (entries are content-addressed and deterministic, so sharing
+    cannot change any result).
     """
     global _WORKER_CONTEXT
-    name, scale, seed, scenario_filter = task
+    name, scale, seed, scenario_filter, store_path = task
+    _install_worker_store(store_path)
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = ExperimentContext()
     _WORKER_CONTEXT.scenario_filter = scenario_filter
     spec = get_experiment(name)
+    stats_before = cache_stats_snapshot()
     start = time.perf_counter()
     result = spec.runner(scale, seed, _WORKER_CONTEXT)
     return SeedRun(seed=seed, result=result,
-                   elapsed_s=time.perf_counter() - start)
+                   elapsed_s=time.perf_counter() - start,
+                   metadata=_cache_stats_delta(stats_before))
 
 
 @dataclass
@@ -204,7 +300,17 @@ class ExperimentRun:
             f"{self.spec.description} ==="
         ]
         for run in self.seed_runs:
-            blocks.append(f"--- seed={run.seed} ({run.elapsed_s:.1f}s) ---")
+            header = f"--- seed={run.seed} ({run.elapsed_s:.1f}s)"
+            hits = run.metadata.get("oracle_cache_hits")
+            misses = run.metadata.get("oracle_cache_misses")
+            if hits or misses:
+                header += f" [oracle cache: {hits} hits / {misses} misses"
+                store_hits = run.metadata.get("oracle_cache_store_hits", 0)
+                store_misses = run.metadata.get("oracle_cache_store_misses", 0)
+                if store_hits or store_misses:
+                    header += f"; store: {store_hits}/{store_misses}"
+                header += "]"
+            blocks.append(header + " ---")
             blocks.append(self.spec.format_result(run.result))
         return "\n".join(blocks)
 
@@ -229,7 +335,9 @@ class ExperimentRunner:
 
     def __init__(self, scale: ScaleLike = "quick",
                  seeds: Sequence[SeedLike] = (0,), jobs: int = 1,
-                 scenario_filter: Optional[Sequence[str]] = None) -> None:
+                 scenario_filter: Optional[Sequence[str]] = None,
+                 oracle_store: Optional[Union[OracleStore, str, Path]] = None,
+                 ) -> None:
         self.scale = get_scale(scale)
         self.seeds: List[SeedLike] = list(seeds)
         if not self.seeds:
@@ -240,6 +348,14 @@ class ExperimentRunner:
         self.context = ExperimentContext(scenario_filter=scenario_filter)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
+        # Installing the store as the process default makes every framework
+        # the drivers construct (in this process) layer its OracleCache over
+        # it; worker processes receive the path with each task.
+        self.oracle_store: Optional[OracleStore] = (
+            set_default_oracle_store(oracle_store)
+            if oracle_store is not None else None
+        )
+        self._warmed_design_oracles: set = set()
 
     def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
         """Return the runner's worker pool, (re)created lazily.
@@ -259,11 +375,19 @@ class ExperimentRunner:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op if none was ever created)."""
+        """Shut down the worker pool and release the default Oracle store.
+
+        The store was installed process-wide so the drivers' frameworks
+        adopt it; clearing it here keeps one runner's store from silently
+        leaking into store-less runners created later in the process.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
             self._executor_workers = 0
+        if (self.oracle_store is not None
+                and get_default_oracle_store() is self.oracle_store):
+            set_default_oracle_store(None)
 
     def __enter__(self) -> "ExperimentRunner":
         return self
@@ -276,6 +400,65 @@ class ExperimentRunner:
             self.close()
         except Exception:
             pass
+
+    def warm_design_oracle(self, scale: ExperimentScale,
+                           seeds: Sequence[SeedLike],
+                           gating_variants: Sequence[bool] = (False,)) -> int:
+        """Precompute the design-time Oracle sweep into the on-disk store.
+
+        Regenerates the training-workload snippet traces exactly as
+        ``train_offline`` would for each seed and sweeps them once per
+        requested ``allow_core_gating`` variant, writing the entries
+        through to the store.  Worker processes (and later invocations)
+        then hit the store instead of redundantly re-running the same
+        exhaustive sweep in every process.  A no-op without a store;
+        idempotent per ``(scale, seed, gating)``.  Returns the number of
+        (seed, variant) sweeps performed.
+        """
+        if self.oracle_store is None:
+            return 0
+        warmed = 0
+        for seed in seeds:
+            pending = tuple(
+                gating for gating in gating_variants
+                if (scale, seed, bool(gating)) not in self._warmed_design_oracles
+            )
+            if not pending:
+                continue
+            _warm_design_oracle_seed(scale, seed, pending, self.oracle_store)
+            for gating in pending:
+                self._warmed_design_oracles.add((scale, seed, bool(gating)))
+            warmed += 1
+        return warmed
+
+    def _warm_design_oracle_pooled(self, scale: ExperimentScale,
+                                   seeds: Sequence[SeedLike],
+                                   gating_variants: Sequence[bool],
+                                   workers: int) -> None:
+        """Warm the per-seed design sweeps concurrently across the pool.
+
+        The sweeps of distinct seeds are disjoint (snippet traces are
+        seed-dependent), so on a cold store the parallel warm costs one
+        sweep of wall-clock instead of ``len(seeds)``; on a warm store
+        every task resolves as store hits.
+        """
+        assert self.oracle_store is not None
+        tasks = []
+        for seed in seeds:
+            pending = tuple(
+                gating for gating in gating_variants
+                if (scale, seed, bool(gating)) not in self._warmed_design_oracles
+            )
+            if pending:
+                tasks.append((scale, seed, pending,
+                              str(self.oracle_store.root)))
+        if not tasks:
+            return
+        pool = self._ensure_executor(workers)
+        for (task_scale, seed, pending, _), _ in zip(
+                tasks, pool.map(_pooled_warm_task, tasks)):
+            for gating in pending:
+                self._warmed_design_oracles.add((task_scale, seed, bool(gating)))
 
     def run(self, name: str, scale: Optional[ScaleLike] = None,
             seeds: Optional[Sequence[SeedLike]] = None,
@@ -303,17 +486,37 @@ class ExperimentRunner:
                     "parallel fan-out (jobs > 1) requires int or None seeds; "
                     "stateful Generator seeds must run sequentially (jobs=1)"
                 )
-            tasks = [(spec.name, run_scale, seed, self.context.scenario_filter)
+        if self.oracle_store is not None:
+            # close() clears the process default; a reused runner
+            # re-installs its store for the drivers it is about to run.
+            set_default_oracle_store(self.oracle_store)
+            if spec.uses_design_oracle and run_jobs > 1:
+                # Compute-once artifact: the expensive training-snippet
+                # sweep is persisted before the experiment fan-out so no
+                # worker repeats another's work, concurrently across the
+                # pool (per-seed sweeps are disjoint).  Sequential runs
+                # need no warm: the driver's own cache writes the sweep
+                # through to the store as it computes it.
+                self._warm_design_oracle_pooled(
+                    run_scale, run_seeds, spec.design_oracle_gating,
+                    run_jobs)
+        if run_jobs > 1:
+            store_path = (str(self.oracle_store.root)
+                          if self.oracle_store is not None else None)
+            tasks = [(spec.name, run_scale, seed,
+                      self.context.scenario_filter, store_path)
                      for seed in run_seeds]
             pool = self._ensure_executor(run_jobs)
             out.seed_runs = list(pool.map(_pooled_seed_run, tasks))
             return out
         for seed in run_seeds:
+            stats_before = cache_stats_snapshot()
             start = time.perf_counter()
             result = spec.runner(run_scale, seed, self.context)
             out.seed_runs.append(
                 SeedRun(seed=seed, result=result,
-                        elapsed_s=time.perf_counter() - start)
+                        elapsed_s=time.perf_counter() - start,
+                        metadata=_cache_stats_delta(stats_before))
             )
         return out
 
@@ -356,6 +559,7 @@ def _register_builtins() -> None:
         "table2", "Table II — offline IL generalisation across suites",
         lambda scale, seed, ctx: run_table2(scale, seed=seed),
         formatter=format_table2, tags=("paper", "table"),
+        uses_design_oracle=True,
     )
     register_experiment(
         "figure2", "Figure 2 — online RLS frame-time prediction (Nenamark2)",
@@ -368,6 +572,7 @@ def _register_builtins() -> None:
             scale, seed=seed, study=ctx.adaptation_study(scale, seed)
         ),
         formatter=format_figure3, tags=("paper", "figure"),
+        uses_design_oracle=True,
     )
     register_experiment(
         "figure4", "Figure 4 — per-application energy normalised to Oracle",
@@ -375,6 +580,7 @@ def _register_builtins() -> None:
             scale, seed=seed, study=ctx.adaptation_study(scale, seed)
         ),
         formatter=format_figure4, tags=("paper", "figure"),
+        uses_design_oracle=True,
     )
     register_experiment(
         "figure5", "Figure 5 — explicit-NMPC GPU energy savings vs baseline",
@@ -389,11 +595,12 @@ def _register_builtins() -> None:
             scenarios=getattr(ctx, "scenario_filter", None),
         ),
         formatter=format_robustness, tags=("robustness", "scenario"),
+        uses_design_oracle=True,
     )
     register_experiment(
         "ablation-buffer", "Online-IL adaptation vs aggregation-buffer size",
         lambda scale, seed, ctx: run_buffer_size_ablation(scale=scale, seed=seed),
-        tags=("ablation",),
+        tags=("ablation",), uses_design_oracle=True,
     )
     register_experiment(
         "ablation-forgetting", "Frame-time model error vs RLS forgetting factor",
@@ -409,7 +616,9 @@ def _register_builtins() -> None:
     register_experiment(
         "ablation-config-space", "Offline-IL generalisation vs space richness",
         lambda scale, seed, ctx: run_config_space_ablation(scale=scale, seed=seed),
-        tags=("ablation",),
+        tags=("ablation",), uses_design_oracle=True,
+        # The driver trains both the plain and the core-gated space.
+        design_oracle_gating=(False, True),
     )
     register_experiment(
         "ablation-noc", "Analytical vs SVR NoC latency model accuracy",
@@ -458,6 +667,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "(e.g. 'paper', 'ablation')",
     )
     parser.add_argument(
+        "--oracle-store", default=None, metavar="DIR", dest="oracle_store",
+        help="directory of the persistent on-disk Oracle store; entries are "
+             "content-addressed, shared with worker processes and reused by "
+             "later invocations (created if missing)",
+    )
+    parser.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
         dest="scenarios",
         help="restrict scenario-driven experiments (robustness) to this "
@@ -503,7 +718,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     try:
         runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs,
-                                  scenario_filter=args.scenarios)
+                                  scenario_filter=args.scenarios,
+                                  oracle_store=args.oracle_store)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -241,9 +241,11 @@ class MLPClassifier(Classifier):
                               self.momentum, self.l2, self.rng)
 
     def _encode(self, labels: np.ndarray) -> np.ndarray:
+        # ``classes_`` is sorted (np.unique / ensure_classes), so the
+        # label-to-index mapping is one vectorized binary search; callers
+        # (fit/partial_fit) have already validated label membership.
         assert self.classes_ is not None
-        index = {int(c): i for i, c in enumerate(self.classes_)}
-        return np.array([index[int(label)] for label in labels], dtype=int)
+        return np.searchsorted(self.classes_, labels).astype(int)
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
         data = as_2d(features)

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.ml.rls import RecursiveLeastSquares
 from repro.models.staff import StabilizedAdaptiveForgettingRLS
-from repro.soc.configuration import SoCConfiguration
+from repro.soc.configuration import SoCConfiguration, SpaceArrays
 from repro.soc.counters import PerformanceCounters
 from repro.soc.platform import PlatformSpec
 
@@ -184,6 +184,64 @@ class CpuPerformanceModel:
         if n_instructions is not None and counters.instructions_retired > 0:
             predicted *= n_instructions / counters.instructions_retired
         return float(max(predicted, 1e-9))
+
+    def predict_time_s_batch(
+        self,
+        counters: PerformanceCounters,
+        candidates: SpaceArrays,
+        n_instructions: Optional[float] = None,
+        reference_config: Optional[SoCConfiguration] = None,
+    ) -> np.ndarray:
+        """Predicted execution time of many candidate configurations at once.
+
+        Vectorized twin of :meth:`predict_time_s` over the rows of
+        ``candidates`` (a whole-space ``soa_view()`` or a memoised
+        ``neighborhood_view()``'s arrays).  ``reference_config`` is the
+        configuration the counters were observed at; it is required here
+        because the batch exists precisely to reuse one observation across
+        many candidates.  Every arithmetic step mirrors the scalar path's
+        operation order, so the results are bitwise identical per
+        candidate.
+        """
+        if reference_config is None:
+            raise ValueError(
+                "predict_time_s_batch requires reference_config (the "
+                "configuration the counters were observed at)"
+            )
+        big = candidates.cluster("big")
+        little = candidates.cluster("little")
+        feats = self.features
+        latency_ns = self.latency_ns()
+        reference = reference_config
+
+        ref_big_freq = feats.big_frequency_ghz(reference)
+        cand_big_freq = big.frequency_ghz
+        big_cycles_ref = feats.big_busy_cycles(counters, reference)
+        delta_freq = cand_big_freq - ref_big_freq
+        latency_misses = latency_ns * counters.l2_cache_misses
+        big_cycles_cand = np.maximum(
+            big_cycles_ref + latency_misses * delta_freq,
+            0.1 * big_cycles_ref,
+        )
+        big_busy = max(
+            counters.big_cluster_utilization * reference.cores("big"), 1e-3
+        )
+        effective = np.maximum(0.25, np.minimum(big_busy, big.cores_f))
+        big_time = big_cycles_cand / (cand_big_freq * 1e9 * effective)
+
+        little_cycles = feats.little_busy_cycles(counters, reference)
+        little_busy_cores = max(
+            counters.little_cluster_utilization * reference.cores("little"), 1e-3
+        )
+        little_cores = np.minimum(little_busy_cores, little.cores_f)
+        little_time = little_cycles / (
+            little.frequency_ghz * 1e9 * np.maximum(little_cores, 0.25)
+        )
+
+        predicted = np.maximum(big_time, little_time)
+        if n_instructions is not None and counters.instructions_retired > 0:
+            predicted = predicted * (n_instructions / counters.instructions_retired)
+        return np.maximum(predicted, 1e-9)
 
     @property
     def n_updates(self) -> int:

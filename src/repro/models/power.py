@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ml.rls import RecursiveLeastSquares
-from repro.soc.configuration import SoCConfiguration
+from repro.soc.configuration import SoCConfiguration, SpaceArrays
 from repro.soc.counters import PerformanceCounters
 from repro.soc.platform import PlatformSpec
 
@@ -45,10 +45,25 @@ class PowerModelFeatures:
 
     def __init__(self, platform: PlatformSpec) -> None:
         self.platform = platform
+        # Per-OPP ``V^2 f / 1e9`` prefixes, filled with the same scalar
+        # arithmetic as :meth:`build` so batch features gather bitwise-equal
+        # values (one table per cluster, built lazily).
+        self._v2f_tables: dict = {}
 
     @property
     def n_features(self) -> int:
         return len(self.FEATURE_NAMES)
+
+    def _v2f_over_1e9(self, cluster: str) -> np.ndarray:
+        table = self._v2f_tables.get(cluster)
+        if table is None:
+            spec = self.platform.cluster(cluster)
+            table = np.array(
+                [opp.voltage_v**2 * opp.frequency_hz / 1e9 for opp in spec.opps],
+                dtype=float,
+            )
+            self._v2f_tables[cluster] = table
+        return table
 
     @staticmethod
     def _busy_cores(utilization: float, reference_cores: int,
@@ -91,6 +106,55 @@ class PowerModelFeatures:
             dtype=float,
         )
 
+    def build_batch(
+        self,
+        counters: PerformanceCounters,
+        candidates: SpaceArrays,
+        reference_config: Optional[SoCConfiguration] = None,
+    ) -> np.ndarray:
+        """Feature matrix for many candidate configurations at once.
+
+        Vectorized twin of :meth:`build`: rows correspond to the rows of
+        ``candidates`` (a whole-space :meth:`~repro.soc.configuration
+        .ConfigurationSpace.soa_view` or a memoised
+        :meth:`~repro.soc.configuration.ConfigurationSpace
+        .neighborhood_view`'s arrays), with counters observed at
+        ``reference_config``.  When ``reference_config`` is ``None`` each
+        candidate acts as its own reference, matching :meth:`build`'s
+        default.  Configuration-dependent terms come from the
+        struct-of-arrays rows and per-OPP prefix tables, so every row
+        equals the corresponding :meth:`build` vector bitwise.
+        """
+        big = candidates.cluster("big")
+        little = candidates.cluster("little")
+        big_cores = big.cores_f
+        little_cores = little.cores_f
+        time_s = max(counters.execution_time_s, 1e-9)
+        external_rate_per_us = (
+            counters.noncache_external_memory_requests / time_s / 1e6
+        )
+        if reference_config is not None:
+            big_ref_cores = float(reference_config.cores("big"))
+            little_ref_cores = float(reference_config.cores("little"))
+        else:
+            big_ref_cores = big_cores
+            little_ref_cores = little_cores
+        big_busy = np.minimum(
+            counters.big_cluster_utilization * big_ref_cores, big_cores
+        )
+        little_busy = np.minimum(
+            counters.little_cluster_utilization * little_ref_cores, little_cores
+        )
+        features = np.empty((big_cores.shape[0], len(self.FEATURE_NAMES)))
+        features[:, 0] = self._v2f_over_1e9("big")[big.opp_index] * big_busy
+        features[:, 1] = (
+            self._v2f_over_1e9("little")[little.opp_index] * little_busy
+        )
+        features[:, 2] = big.voltage_v * big_cores
+        features[:, 3] = little.voltage_v * little_cores
+        features[:, 4] = external_rate_per_us
+        return features
+
 
 class CpuPowerModel:
     """Online RLS model of total chip power (watts)."""
@@ -132,6 +196,24 @@ class CpuPowerModel:
         """Predicted power at ``config`` reusing counters from ``reference_config``."""
         feature_vector = self.features.build(counters, config, reference_config)
         return max(0.0, self.rls.predict_one(feature_vector))
+
+    def predict_batch(
+        self,
+        counters: PerformanceCounters,
+        candidates: SpaceArrays,
+        reference_config: Optional[SoCConfiguration] = None,
+    ) -> np.ndarray:
+        """Predicted power of many candidate configurations in one matmul.
+
+        The feature matrix is built over the candidates' struct-of-arrays
+        rows (bitwise equal to per-candidate :meth:`predict` features); the
+        RLS prediction itself is a single ``(n_candidates, n_features)``
+        matrix product, equivalent to the scalar path up to BLAS
+        summation-order round-off.
+        """
+        features = self.features.build_batch(counters, candidates,
+                                             reference_config)
+        return np.maximum(0.0, self.rls.predict_batch(features))
 
     @property
     def n_updates(self) -> int:

@@ -12,7 +12,13 @@ and energy with realistic frequency/voltage and memory-boundedness effects.
 from repro.soc.opp import OperatingPoint, OPPTable
 from repro.soc.cluster import ClusterSpec
 from repro.soc.platform import PlatformSpec, odroid_xu3_like, generic_big_little
-from repro.soc.configuration import SoCConfiguration, ConfigurationSpace
+from repro.soc.configuration import (
+    ClusterArrays,
+    ConfigurationSpace,
+    NeighborhoodView,
+    SoCConfiguration,
+    SpaceArrays,
+)
 from repro.soc.counters import PerformanceCounters, COUNTER_NAMES
 from repro.soc.snippet import Snippet, SnippetCharacteristics
 from repro.soc.simulator import SoCBatchResult, SoCSimulator, SnippetResult
@@ -34,6 +40,9 @@ __all__ = [
     "generic_big_little",
     "SoCConfiguration",
     "ConfigurationSpace",
+    "ClusterArrays",
+    "SpaceArrays",
+    "NeighborhoodView",
     "PerformanceCounters",
     "COUNTER_NAMES",
     "Snippet",

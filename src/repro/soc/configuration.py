@@ -20,6 +20,77 @@ from repro.soc.platform import PlatformSpec
 
 
 @dataclass(frozen=True)
+class ClusterArrays:
+    """Struct-of-arrays view of one cluster across every configuration.
+
+    Each array has one element per configuration, in enumeration order.
+    ``voltage_v``/``frequency_hz``/``frequency_ghz`` are the per-OPP values
+    gathered through ``opp_index``; the per-OPP source tables are built with
+    the same Python-scalar arithmetic as the object-level accessors, so the
+    gathered values are bitwise identical to what
+    ``spec.opps[config.opp_index(name)]`` would yield per configuration.
+    """
+
+    opp_index: np.ndarray      # (n,) intp
+    active_cores: np.ndarray   # (n,) intp
+    cores_f: np.ndarray        # (n,) float64 view of active_cores
+    voltage_v: np.ndarray      # (n,) float64
+    frequency_hz: np.ndarray   # (n,) float64
+    frequency_ghz: np.ndarray  # (n,) float64
+
+
+@dataclass(frozen=True)
+class SpaceArrays:
+    """Struct-of-arrays view over a set of configurations.
+
+    Either the whole space (:meth:`ConfigurationSpace.soa_view`) or one
+    memoised candidate neighbourhood
+    (:meth:`ConfigurationSpace.neighborhood_view`).  Used by the vectorized
+    online decision loop so that per-step candidate sweeps never touch
+    :class:`SoCConfiguration` objects.
+    """
+
+    cluster_order: Tuple[str, ...]
+    clusters: Dict[str, ClusterArrays]
+
+    def cluster(self, name: str) -> ClusterArrays:
+        return self.clusters[name]
+
+    def gather(self, indices: np.ndarray) -> "SpaceArrays":
+        """Row subset of this view (arrays gathered at ``indices``)."""
+        clusters = {
+            name: ClusterArrays(
+                opp_index=arrays.opp_index[indices],
+                active_cores=arrays.active_cores[indices],
+                cores_f=arrays.cores_f[indices],
+                voltage_v=arrays.voltage_v[indices],
+                frequency_hz=arrays.frequency_hz[indices],
+                frequency_ghz=arrays.frequency_ghz[indices],
+            )
+            for name, arrays in self.clusters.items()
+        }
+        return SpaceArrays(cluster_order=self.cluster_order, clusters=clusters)
+
+
+@dataclass(frozen=True)
+class NeighborhoodView:
+    """Memoised candidate neighbourhood: index table plus gathered arrays.
+
+    ``indices`` are configuration indices into the owning space (in
+    neighbourhood enumeration order — the order the scalar reference sweeps
+    candidates in); ``arrays`` holds the struct-of-arrays rows of exactly
+    those candidates, pre-gathered once so the per-step decision path does
+    no indexing work at all.
+    """
+
+    indices: np.ndarray
+    arrays: SpaceArrays
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
 class SoCConfiguration:
     """One point in the SoC control space.
 
@@ -121,6 +192,10 @@ class ConfigurationSpace:
         self._cache_key: Optional[Tuple] = None
         self._restrictions: Dict[Tuple[Tuple[str, int], ...],
                                  "ConfigurationSpace"] = {}
+        self._soa: Optional[SpaceArrays] = None
+        self._neighbor_tables: Dict[Tuple[int, int, bool], np.ndarray] = {}
+        self._neighbor_views: Dict[Tuple[int, int, bool], NeighborhoodView] = {}
+        self._clamp_cache: Dict[SoCConfiguration, SoCConfiguration] = {}
 
     def _max_opp_index(self, cluster: str) -> int:
         """Highest reachable OPP index of ``cluster`` under the active caps."""
@@ -229,7 +304,14 @@ class ConfigurationSpace:
         clamped into the allowed range and the core count into the allowed
         gating range, which always lands inside the space because the space is
         a full cross product of the per-cluster ranges.
+
+        Results are memoised per input configuration — a throttled scenario
+        clamps the same few policy decisions every step, so repeat clamps cost
+        one dict lookup instead of rebuilding a configuration object.
         """
+        cached = self._clamp_cache.get(config)
+        if cached is not None:
+            return cached
         opp_map, core_map = config.as_dicts()
         for name in self.cluster_order:
             spec = self.platform.clusters[name]
@@ -244,19 +326,13 @@ class ConfigurationSpace:
         clamped = SoCConfiguration.from_dicts(opp_map, core_map)
         if clamped not in self._index:
             raise KeyError(f"clamped configuration not in space: {clamped}")
+        self._clamp_cache[config] = clamped
         return clamped
 
-    def neighbors(self, config: SoCConfiguration, radius: int = 1,
-                  include_self: bool = True) -> List[SoCConfiguration]:
-        """Configurations within ``radius`` OPP steps per cluster.
-
-        The online-IL runtime Oracle evaluates candidate configurations "in a
-        local neighbourhood of the current configuration" (Sec. IV-A3); this
-        method defines that neighbourhood.  Core counts are held fixed unless
-        core gating is enabled, in which case +/- radius cores are included.
-        """
-        if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
+    def _enumerate_neighbor_indices(self, config: SoCConfiguration,
+                                    radius: int,
+                                    include_self: bool) -> np.ndarray:
+        """Neighbourhood of ``config`` as configuration indices (uncached)."""
         opp_map, core_map = config.as_dicts()
         opp_options: List[List[int]] = []
         core_options: List[List[int]] = []
@@ -275,7 +351,7 @@ class ConfigurationSpace:
                 core_options.append(list(range(low, high + 1)))
             else:
                 core_options.append([current_cores])
-        result: List[SoCConfiguration] = []
+        indices: List[int] = []
         for opp_combo in product(*opp_options):
             for core_combo in product(*core_options):
                 candidate = SoCConfiguration.from_dicts(
@@ -284,9 +360,71 @@ class ConfigurationSpace:
                 )
                 if not include_self and candidate == config:
                     continue
-                if candidate in self._index:
-                    result.append(candidate)
-        return result
+                index = self._index.get(candidate)
+                if index is not None:
+                    indices.append(index)
+        return np.array(indices, dtype=np.intp)
+
+    def neighbor_indices(self, index: int, radius: int = 1,
+                         include_self: bool = True) -> np.ndarray:
+        """Indices of the configurations within ``radius`` OPP steps.
+
+        This is the index-table twin of :meth:`neighbors`: the neighbourhood
+        of configuration ``index`` is enumerated once per ``(index, radius,
+        include_self)`` and memoised, so the per-step candidate sweep of the
+        online-IL runtime Oracle stops rebuilding configuration objects.  The
+        returned array is cached — treat it as read-only.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        key = (int(index), int(radius), bool(include_self))
+        table = self._neighbor_tables.get(key)
+        if table is None:
+            table = self._enumerate_neighbor_indices(
+                self._configs[int(index)], radius, include_self
+            )
+            self._neighbor_tables[key] = table
+        return table
+
+    def neighborhood_view(self, index: int, radius: int = 1,
+                          include_self: bool = True) -> NeighborhoodView:
+        """Memoised :class:`NeighborhoodView` of configuration ``index``.
+
+        Combines :meth:`neighbor_indices` with the struct-of-arrays rows of
+        the candidates, gathered once per ``(index, radius, include_self)``:
+        the vectorized runtime Oracle's per-step sweep reduces to pure
+        elementwise arithmetic over these cached arrays.
+        """
+        key = (int(index), int(radius), bool(include_self))
+        view = self._neighbor_views.get(key)
+        if view is None:
+            indices = self.neighbor_indices(index, radius, include_self)
+            view = NeighborhoodView(
+                indices=indices, arrays=self.soa_view().gather(indices)
+            )
+            self._neighbor_views[key] = view
+        return view
+
+    def neighbors(self, config: SoCConfiguration, radius: int = 1,
+                  include_self: bool = True) -> List[SoCConfiguration]:
+        """Configurations within ``radius`` OPP steps per cluster.
+
+        The online-IL runtime Oracle evaluates candidate configurations "in a
+        local neighbourhood of the current configuration" (Sec. IV-A3); this
+        method defines that neighbourhood.  Core counts are held fixed unless
+        core gating is enabled, in which case +/- radius cores are included.
+        Backed by the memoised :meth:`neighbor_indices` tables.
+        """
+        if config in self._index:
+            indices = self.neighbor_indices(self._index[config], radius,
+                                            include_self)
+            return [self._configs[i] for i in indices]
+        # A configuration outside the space (e.g. from a differently
+        # restricted sibling space) still gets a correct, uncached answer.
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        indices = self._enumerate_neighbor_indices(config, radius, include_self)
+        return [self._configs[i] for i in indices]
 
     def random_configuration(self, rng: np.random.Generator) -> SoCConfiguration:
         return self._configs[int(rng.integers(0, len(self._configs)))]
@@ -314,6 +452,46 @@ class ConfigurationSpace:
                 arrays[name] = (opp, active)
             self._batch_arrays = arrays
         return self._batch_arrays
+
+    def soa_view(self) -> SpaceArrays:
+        """Struct-of-arrays view of the whole space (built once, cached).
+
+        Per cluster: the OPP index and active-core count of every
+        configuration, plus the voltage and frequency of that OPP gathered
+        from per-OPP tables.  The per-OPP tables are filled element by
+        element with the same scalar arithmetic as the object-level
+        accessors, so every gathered value is bitwise identical to its
+        scalar counterpart.  The arrays are cached and shared — treat them
+        as read-only.
+        """
+        if self._soa is None:
+            index_arrays = self.batch_index_arrays()
+            clusters: Dict[str, ClusterArrays] = {}
+            for name in self.cluster_order:
+                spec = self.platform.clusters[name]
+                opp, active = index_arrays[name]
+                voltage_by_opp = np.array(
+                    [point.voltage_v for point in spec.opps], dtype=float
+                )
+                frequency_by_opp = np.array(
+                    [point.frequency_hz for point in spec.opps], dtype=float
+                )
+                ghz_by_opp = np.array(
+                    [point.frequency_hz / 1e9 for point in spec.opps],
+                    dtype=float,
+                )
+                clusters[name] = ClusterArrays(
+                    opp_index=opp,
+                    active_cores=active,
+                    cores_f=active.astype(float),
+                    voltage_v=voltage_by_opp[opp],
+                    frequency_hz=frequency_by_opp[opp],
+                    frequency_ghz=ghz_by_opp[opp],
+                )
+            self._soa = SpaceArrays(
+                cluster_order=tuple(self.cluster_order), clusters=clusters
+            )
+        return self._soa
 
     def cache_key(self) -> Tuple:
         """Content-derived key identifying this space (for Oracle caches).

@@ -341,6 +341,54 @@ class SoCSimulator:
         """Noise-free evaluation used for Oracle construction and analysis."""
         return self.run_snippet(snippet, config, deterministic=True)
 
+    def apply_noise(self, expected: SnippetResult,
+                    rng: Optional[np.random.Generator] = None) -> SnippetResult:
+        """Re-noise a noise-free result exactly as :meth:`run_snippet` would.
+
+        Given the expected (deterministic) result of a snippet/configuration
+        pair — e.g. a cached Oracle entry's ``best_result`` — this draws the
+        same two log-normal factors in the same order as :meth:`run_snippet`
+        and applies them with the same arithmetic, so the returned result
+        (and the generator stream consumed) is bitwise identical to a full
+        re-simulation, without re-running the per-cluster performance model.
+        """
+        noise_rng = rng if rng is not None else self.rng
+        if self.noise_scale == 0.0:
+            time_noise = 1.0
+            power_noise = 1.0
+        else:
+            time_noise = float(
+                np.exp(noise_rng.normal(0.0, self.noise_scale))
+            )
+            power_noise = float(
+                np.exp(noise_rng.normal(0.0, self.noise_scale))
+            )
+        measured_time = expected.execution_time_s * time_noise
+        measured_power = expected.average_power_w * power_noise
+        energy = measured_power * measured_time
+        base = expected.counters
+        counters = PerformanceCounters(
+            instructions_retired=base.instructions_retired,
+            cpu_cycles=base.cpu_cycles,
+            branch_mispredictions=base.branch_mispredictions,
+            l2_cache_misses=base.l2_cache_misses,
+            data_memory_accesses=base.data_memory_accesses,
+            noncache_external_memory_requests=base.noncache_external_memory_requests,
+            little_cluster_utilization=base.little_cluster_utilization,
+            big_cluster_utilization=base.big_cluster_utilization,
+            total_chip_power_w=measured_power,
+            execution_time_s=measured_time,
+        )
+        return SnippetResult(
+            snippet=expected.snippet,
+            configuration=expected.configuration,
+            execution_time_s=measured_time,
+            energy_j=energy,
+            average_power_w=measured_power,
+            counters=counters,
+            power_breakdown_w=dict(expected.power_breakdown_w),
+        )
+
     def evaluate_expected_batch(
         self, snippet: Snippet, configurations: Iterable[SoCConfiguration]
     ) -> SoCBatchResult:

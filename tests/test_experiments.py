@@ -168,3 +168,121 @@ class TestAblations:
                                           seed=0)
         assert result.n_train == 4 and result.n_test == 2
         assert result.svr_mape_percent > 0
+
+
+class TestRunnerOracleStore:
+    """The on-disk Oracle store through the experiment runner and CLI."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_default_store(self):
+        from repro.core.oracle_store import (
+            get_default_oracle_store,
+            set_default_oracle_store,
+        )
+        previous = get_default_oracle_store()
+        set_default_oracle_store(None)
+        yield
+        set_default_oracle_store(previous)
+
+    def _summaries(self, run):
+        from tests.test_goldens import to_jsonable
+        return [to_jsonable(seed_run.result) for seed_run in run.seed_runs]
+
+    def test_results_identical_with_store_cold_and_warm(self, tmp_path):
+        from repro.experiments.runner import ExperimentRunner
+
+        with ExperimentRunner(scale=TINY, seeds=(0,)) as plain:
+            baseline = self._summaries(plain.run("table2"))
+        from repro.core.oracle_store import set_default_oracle_store
+        set_default_oracle_store(None)
+        with ExperimentRunner(scale=TINY, seeds=(0,),
+                              oracle_store=tmp_path / "store") as cold:
+            cold_run = cold.run("table2")
+        set_default_oracle_store(None)
+        with ExperimentRunner(scale=TINY, seeds=(0,),
+                              oracle_store=tmp_path / "store") as warm:
+            warm_run = warm.run("table2")
+        assert baseline == self._summaries(cold_run)
+        assert baseline == self._summaries(warm_run)
+        # The warm invocation served the design-time sweep from disk.
+        warm_meta = warm_run.seed_runs[0].metadata
+        assert warm_meta["oracle_cache_store_hits"] > 0
+        assert warm_run.spec.uses_design_oracle
+
+    def test_parallel_fanout_shares_store(self, tmp_path):
+        from repro.experiments.runner import ExperimentRunner
+
+        seeds = (0, 1)
+        with ExperimentRunner(scale=TINY, seeds=seeds) as plain:
+            baseline = self._summaries(plain.run("table2"))
+        from repro.core.oracle_store import set_default_oracle_store
+        set_default_oracle_store(None)
+        with ExperimentRunner(scale=TINY, seeds=seeds, jobs=2,
+                              oracle_store=tmp_path / "store") as parallel:
+            parallel_run = parallel.run("table2")
+        assert baseline == self._summaries(parallel_run)
+        # Workers found the parent-warmed design-oracle entries on disk.
+        for seed_run in parallel_run.seed_runs:
+            assert seed_run.metadata["oracle_cache_store_hits"] > 0
+
+    def test_warm_design_oracle_populates_store_and_is_idempotent(self,
+                                                                  tmp_path):
+        from repro.experiments.runner import ExperimentRunner
+
+        with ExperimentRunner(scale=TINY, seeds=(0,),
+                              oracle_store=tmp_path / "store") as runner:
+            assert runner.warm_design_oracle(TINY, (0,)) == 1
+            populated = len(runner.oracle_store)
+            assert populated > 0
+            assert runner.warm_design_oracle(TINY, (0,)) == 0
+            assert len(runner.oracle_store) == populated
+            # The core-gated variant is a separate (bigger) sweep.
+            assert runner.warm_design_oracle(
+                TINY, (0,), gating_variants=(False, True)) == 1
+            assert len(runner.oracle_store) > populated
+        with ExperimentRunner(scale=TINY, seeds=(0,)) as storeless:
+            assert storeless.warm_design_oracle(TINY, (0,)) == 0
+
+    def test_config_space_ablation_warms_both_gating_variants(self):
+        from repro.experiments.runner import get_experiment
+
+        spec = get_experiment("ablation-config-space")
+        assert spec.uses_design_oracle
+        assert spec.design_oracle_gating == (False, True)
+
+    def test_close_releases_default_store(self, tmp_path):
+        from repro.core.oracle_store import get_default_oracle_store
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(scale=TINY, seeds=(0,),
+                                  oracle_store=tmp_path / "store")
+        assert get_default_oracle_store() is runner.oracle_store
+        runner.close()
+        assert get_default_oracle_store() is None
+        # A reused runner reinstalls its store for the runs it executes.
+        run = runner.run("table1")
+        assert len(run.seed_runs) == 1
+        assert get_default_oracle_store() is runner.oracle_store
+        runner.close()
+        assert get_default_oracle_store() is None
+
+    def test_cli_oracle_store_flag(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        store_dir = tmp_path / "cli-store"
+        assert main(["table1", "--scale", "tiny",
+                     "--oracle-store", str(store_dir)]) == 0
+        assert store_dir.is_dir()
+        assert "table1" in capsys.readouterr().out
+
+    def test_seed_run_metadata_reports_cache_counters(self):
+        from repro.experiments.runner import ExperimentRunner
+
+        with ExperimentRunner(scale=TINY, seeds=(0,)) as runner:
+            run = runner.run("table2")
+        metadata = run.seed_runs[0].metadata
+        for key in ("oracle_cache_hits", "oracle_cache_misses",
+                    "oracle_cache_store_hits", "oracle_cache_store_misses"):
+            assert key in metadata
+        assert metadata["oracle_cache_misses"] > 0
+        assert "oracle cache:" in run.format()

@@ -217,6 +217,23 @@ class TestMLP:
         with pytest.raises(ValueError):
             MLPRegressor(activation="sigmoid").fit(np.zeros((4, 2)), np.zeros(4))
 
+    def test_encode_matches_dict_mapping(self, rng):
+        """Vectorized searchsorted label encoding == the explicit dict map.
+
+        Classes are sparse and unsorted on input; ``classes_`` is the sorted
+        unique set, and every label must map to its position in it.
+        """
+        model = MLPClassifier(hidden_sizes=(4,), epochs=1, seed=0)
+        classes = [30, 4, 17, 0, 255]
+        model.ensure_classes(classes, n_features=2)
+        labels = np.array(rng.choice(classes, size=200))
+        encoded = model._encode(labels)
+        index = {int(c): i for i, c in enumerate(model.classes_)}
+        np.testing.assert_array_equal(
+            encoded, np.array([index[int(label)] for label in labels])
+        )
+        assert encoded.dtype == np.dtype(int)
+
 
 class TestScalers:
     def test_standard_scaler_zero_mean_unit_variance(self, rng):

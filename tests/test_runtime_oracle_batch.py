@@ -1,0 +1,310 @@
+"""Batch-vs-scalar equivalence of the vectorized online decision loop.
+
+The runtime Oracle's batched candidate sweep (``mode="batch"``) must decide
+exactly like the retained scalar reference loop (``mode="scalar"``): same
+candidate enumeration order, same predictions (execution-time predictions
+bitwise, power within BLAS round-off), and the same first-minimum argmin
+tie-breaking — including on exactly tied predicted energies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runtime_oracle import RuntimeOracle
+from repro.models.performance import CpuPerformanceModel
+from repro.models.power import CpuPowerModel
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.platform import odroid_xu3_like
+from repro.soc.simulator import SoCSimulator
+from repro.workloads.generator import SnippetTraceGenerator
+from repro.workloads.suites import training_workloads
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return odroid_xu3_like()
+
+
+@pytest.fixture(scope="module")
+def space(platform):
+    return ConfigurationSpace(platform)
+
+
+@pytest.fixture(scope="module")
+def gated_space(platform):
+    return ConfigurationSpace(platform, allow_core_gating=True,
+                              gated_clusters=("big",))
+
+
+def _decision_states(platform, space, n_states, seed):
+    """Stream of (counters, current) pairs with progressively warmed models."""
+    simulator = SoCSimulator(platform, seed=seed)
+    power_model = CpuPowerModel(platform)
+    performance_model = CpuPerformanceModel(platform)
+    generator = SnippetTraceGenerator(seed=seed + 1)
+    snippets = [
+        snippet
+        for workload in training_workloads()
+        for snippet in generator.generate(workload.scaled(0.4))
+    ]
+    rng = np.random.default_rng(seed + 2)
+    states = []
+    current = space.default_configuration()
+    for snippet in snippets[:n_states]:
+        result = simulator.run_snippet(snippet, current, rng=rng)
+        power_model.update(result.counters, current)
+        performance_model.update(result.counters, current)
+        states.append((result.counters, current))
+        current = space.random_configuration(rng)
+    return power_model, performance_model, states
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_same_decision_and_estimates(self, platform, space, radius):
+        power_model, performance_model, states = _decision_states(
+            platform, space, n_states=40, seed=29
+        )
+        batch_oracle = RuntimeOracle(space, power_model, performance_model,
+                                     neighborhood_radius=radius, mode="batch")
+        scalar_oracle = RuntimeOracle(space, power_model, performance_model,
+                                      neighborhood_radius=radius, mode="scalar")
+        for counters, current in states:
+            best_b, est_b = batch_oracle.best_configuration(counters, current)
+            best_s, est_s = scalar_oracle.best_configuration(counters, current)
+            assert best_b == best_s
+            assert est_b.configuration == est_s.configuration
+            # Time predictions mirror the scalar arithmetic operation for
+            # operation and must agree bitwise; power goes through one
+            # matmul and may differ by BLAS summation-order round-off only.
+            assert est_b.predicted_time_s == est_s.predicted_time_s
+            np.testing.assert_allclose(est_b.predicted_power_w,
+                                       est_s.predicted_power_w,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_candidate_enumeration_order_matches(self, platform, space):
+        power_model, performance_model, states = _decision_states(
+            platform, space, n_states=10, seed=31
+        )
+        oracle = RuntimeOracle(space, power_model, performance_model,
+                               neighborhood_radius=2)
+        for counters, current in states:
+            batch = oracle.candidate_batch(counters, current)
+            estimates = oracle.candidate_estimates(counters, current)
+            assert [space[int(i)] for i in batch.candidate_indices] == [
+                est.configuration for est in estimates
+            ]
+            np.testing.assert_array_equal(
+                batch.predicted_time_s,
+                np.array([est.predicted_time_s for est in estimates]),
+            )
+
+    def test_gated_space_equivalence(self, platform, gated_space):
+        power_model, performance_model, states = _decision_states(
+            platform, gated_space, n_states=25, seed=37
+        )
+        batch_oracle = RuntimeOracle(gated_space, power_model,
+                                     performance_model, mode="batch")
+        scalar_oracle = RuntimeOracle(gated_space, power_model,
+                                      performance_model, mode="scalar")
+        for counters, current in states:
+            best_b, _ = batch_oracle.best_configuration(counters, current)
+            best_s, _ = scalar_oracle.best_configuration(counters, current)
+            assert best_b == best_s
+
+    def test_edp_metric_equivalence(self, platform, space):
+        power_model, performance_model, states = _decision_states(
+            platform, space, n_states=20, seed=41
+        )
+        batch_oracle = RuntimeOracle(space, power_model, performance_model,
+                                     metric="edp", mode="batch")
+        scalar_oracle = RuntimeOracle(space, power_model, performance_model,
+                                      metric="edp", mode="scalar")
+        for counters, current in states:
+            best_b, _ = batch_oracle.best_configuration(counters, current)
+            best_s, _ = scalar_oracle.best_configuration(counters, current)
+            assert best_b == best_s
+
+    def test_argmin_tie_breaking_on_equal_energies(self, platform, space):
+        """Exact ties must resolve to the first candidate in both modes.
+
+        A fresh power model predicts exactly 0.0 W for every candidate
+        (zero weights, clamped at zero), so every candidate's predicted
+        energy ties at exactly 0.0 — the argmin must pick the first
+        candidate of the neighbourhood enumeration in both modes.
+        """
+        power_model = CpuPowerModel(platform)  # never updated: weights are 0
+        _, performance_model, states = _decision_states(
+            platform, space, n_states=5, seed=43
+        )
+        batch_oracle = RuntimeOracle(space, power_model, performance_model,
+                                     mode="batch")
+        scalar_oracle = RuntimeOracle(space, power_model, performance_model,
+                                      mode="scalar")
+        for counters, current in states:
+            estimates = scalar_oracle.candidate_estimates(counters, current)
+            energies = [est.predicted_energy_j for est in estimates]
+            assert energies.count(0.0) == len(energies)  # genuinely all tied
+            best_b, est_b = batch_oracle.best_configuration(counters, current)
+            best_s, _ = scalar_oracle.best_configuration(counters, current)
+            first = estimates[0].configuration
+            assert best_b == best_s == first
+            assert est_b.predicted_energy_j == 0.0
+
+    def test_batch_mode_falls_back_for_foreign_configuration(self, platform,
+                                                             space):
+        """A current config outside the space still gets a scalar decision."""
+        restricted = space.restrict(max_opp_index=1)
+        power_model, performance_model, states = _decision_states(
+            platform, space, n_states=3, seed=47
+        )
+        oracle = RuntimeOracle(restricted, power_model, performance_model,
+                               mode="batch")
+        counters, _ = states[0]
+        # A full-space configuration two OPP steps above the restriction cap
+        # is not a member of the restricted space but its radius-2
+        # neighbourhood still intersects it; the oracle must answer (via the
+        # scalar fallback) with a candidate from the restricted space.
+        from repro.soc.configuration import SoCConfiguration
+        foreign = SoCConfiguration.from_dicts(
+            {name: 3 for name in space.cluster_order},
+            {name: space.platform.clusters[name].n_cores
+             for name in space.cluster_order},
+        )
+        assert space.contains(foreign) and not restricted.contains(foreign)
+        best, _ = oracle.best_configuration(counters, foreign)
+        assert restricted.contains(best)
+
+
+class TestModelBatchPaths:
+    def test_power_features_match_scalar_build(self, platform, space):
+        power_model, _, states = _decision_states(platform, space,
+                                                  n_states=8, seed=53)
+        features = power_model.features
+        for counters, current in states:
+            matrix = features.build_batch(counters, space.soa_view(),
+                                          reference_config=current)
+            for i, config in enumerate(space):
+                row = features.build(counters, config, reference_config=current)
+                np.testing.assert_array_equal(matrix[i], row)
+
+    def test_power_features_default_reference_is_candidate(self, platform,
+                                                           space):
+        power_model, _, states = _decision_states(platform, space,
+                                                  n_states=4, seed=59)
+        features = power_model.features
+        for counters, _ in states:
+            matrix = features.build_batch(counters, space.soa_view())
+            for i, config in enumerate(space):
+                row = features.build(counters, config)
+                np.testing.assert_array_equal(matrix[i], row)
+
+    def test_time_batch_matches_scalar_bitwise(self, platform, space):
+        _, performance_model, states = _decision_states(platform, space,
+                                                        n_states=8, seed=61)
+        for counters, current in states:
+            times = performance_model.predict_time_s_batch(
+                counters, space.soa_view(), reference_config=current
+            )
+            for i, config in enumerate(space):
+                scalar = performance_model.predict_time_s(
+                    counters, config, reference_config=current
+                )
+                assert times[i] == scalar
+
+    def test_time_batch_requires_reference(self, platform, space):
+        _, performance_model, states = _decision_states(platform, space,
+                                                        n_states=1, seed=67)
+        counters, _ = states[0]
+        with pytest.raises(ValueError):
+            performance_model.predict_time_s_batch(counters, space.soa_view())
+
+    def test_time_batch_scales_with_instructions(self, platform, space):
+        _, performance_model, states = _decision_states(platform, space,
+                                                        n_states=4, seed=71)
+        for counters, current in states:
+            times = performance_model.predict_time_s_batch(
+                counters, space.soa_view(), n_instructions=2e9,
+                reference_config=current,
+            )
+            for i, config in enumerate(space):
+                scalar = performance_model.predict_time_s(
+                    counters, config, n_instructions=2e9,
+                    reference_config=current,
+                )
+                assert times[i] == scalar
+
+    def test_rls_predict_batch_matches_predict(self):
+        rng = np.random.default_rng(73)
+        from repro.ml.rls import RecursiveLeastSquares
+        model = RecursiveLeastSquares(n_features=5)
+        for _ in range(30):
+            model.update(rng.normal(size=5), float(rng.normal()))
+        queries = rng.normal(size=(50, 5))
+        np.testing.assert_allclose(model.predict_batch(queries),
+                                   model.predict(queries),
+                                   rtol=1e-12, atol=1e-12)
+        with pytest.raises(ValueError):
+            model.predict_batch(np.zeros((3, 4)))
+
+
+class TestSpaceIndexTables:
+    def test_neighbor_indices_match_neighbors(self, space, gated_space):
+        for test_space in (space, gated_space):
+            for index in range(0, len(test_space), 7):
+                config = test_space[index]
+                for radius in (1, 2):
+                    for include_self in (True, False):
+                        via_indices = [
+                            test_space[int(i)]
+                            for i in test_space.neighbor_indices(
+                                index, radius, include_self)
+                        ]
+                        assert via_indices == test_space.neighbors(
+                            config, radius, include_self)
+
+    def test_neighbor_tables_are_memoised(self, space):
+        first = space.neighbor_indices(0, 2, True)
+        second = space.neighbor_indices(0, 2, True)
+        assert first is second
+        view_a = space.neighborhood_view(0, 2, True)
+        view_b = space.neighborhood_view(0, 2, True)
+        assert view_a is view_b
+        np.testing.assert_array_equal(view_a.indices, first)
+
+    def test_neighborhood_view_arrays_match_configs(self, space):
+        view = space.neighborhood_view(len(space) // 2, 2)
+        for name in space.cluster_order:
+            arrays = view.arrays.cluster(name)
+            spec = space.platform.clusters[name]
+            for row, index in enumerate(view.indices):
+                config = space[int(index)]
+                assert arrays.opp_index[row] == config.opp_index(name)
+                assert arrays.active_cores[row] == config.cores(name)
+                opp = spec.opps[config.opp_index(name)]
+                assert arrays.voltage_v[row] == opp.voltage_v
+                assert arrays.frequency_hz[row] == opp.frequency_hz
+                assert arrays.frequency_ghz[row] == opp.frequency_hz / 1e9
+
+    def test_clamp_is_memoised_and_correct(self, space):
+        restricted = space.restrict(max_opp_index=1)
+        full_top = space[len(space) - 1]
+        clamped_once = restricted.clamp(full_top)
+        clamped_again = restricted.clamp(full_top)
+        assert clamped_once is clamped_again
+        assert restricted.contains(clamped_once)
+        for name in restricted.cluster_order:
+            assert clamped_once.opp_index(name) <= 1
+
+    def test_soa_view_covers_whole_space(self, space):
+        soa = space.soa_view()
+        for name in space.cluster_order:
+            arrays = soa.cluster(name)
+            assert arrays.opp_index.shape == (len(space),)
+            expected = np.array([c.opp_index(name) for c in space])
+            np.testing.assert_array_equal(arrays.opp_index, expected)
+            np.testing.assert_array_equal(
+                arrays.cores_f, np.array([float(c.cores(name)) for c in space])
+            )

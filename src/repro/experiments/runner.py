@@ -133,12 +133,18 @@ class ExperimentContext:
     policies once instead of twice per run.
     """
 
-    def __init__(self, scenario_filter: Optional[Sequence[str]] = None) -> None:
+    def __init__(self, scenario_filter: Optional[Sequence[str]] = None,
+                 fleet_devices: Optional[int] = None) -> None:
         self._studies: Dict[Tuple[ExperimentScale, Any], OnlineAdaptationStudy] = {}
         #: Names of the scenarios scenario-driven experiments (robustness)
         #: should sweep; ``None`` means every registered scenario.
         self.scenario_filter: Optional[Tuple[str, ...]] = (
             tuple(scenario_filter) if scenario_filter is not None else None
+        )
+        #: Device count for the fleet experiment (``--devices``); ``None``
+        #: means the experiment's default.
+        self.fleet_devices: Optional[int] = (
+            int(fleet_devices) if fleet_devices is not None else None
         )
 
     def adaptation_study(self, scale: ExperimentScale,
@@ -240,10 +246,10 @@ def _pooled_warm_task(
 
 def _pooled_seed_run(
     task: Tuple[str, ExperimentScale, SeedLike, Optional[Tuple[str, ...]],
-                Optional[str]]
+                Optional[str], Optional[int]]
 ) -> SeedRun:
     """Execute one ``(experiment, scale, seed, scenario_filter,
-    oracle_store_path)`` task in a worker process.
+    oracle_store_path, fleet_devices)`` task in a worker process.
 
     The experiment is re-resolved from the registry inside the worker (specs
     hold arbitrary callables and are not sent over the wire), so only
@@ -259,11 +265,12 @@ def _pooled_seed_run(
     cannot change any result).
     """
     global _WORKER_CONTEXT
-    name, scale, seed, scenario_filter, store_path = task
+    name, scale, seed, scenario_filter, store_path, fleet_devices = task
     _install_worker_store(store_path)
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = ExperimentContext()
     _WORKER_CONTEXT.scenario_filter = scenario_filter
+    _WORKER_CONTEXT.fleet_devices = fleet_devices
     spec = get_experiment(name)
     stats_before = cache_stats_snapshot()
     start = time.perf_counter()
@@ -337,6 +344,7 @@ class ExperimentRunner:
                  seeds: Sequence[SeedLike] = (0,), jobs: int = 1,
                  scenario_filter: Optional[Sequence[str]] = None,
                  oracle_store: Optional[Union[OracleStore, str, Path]] = None,
+                 fleet_devices: Optional[int] = None,
                  ) -> None:
         self.scale = get_scale(scale)
         self.seeds: List[SeedLike] = list(seeds)
@@ -345,7 +353,8 @@ class ExperimentRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
-        self.context = ExperimentContext(scenario_filter=scenario_filter)
+        self.context = ExperimentContext(scenario_filter=scenario_filter,
+                                         fleet_devices=fleet_devices)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
         # Installing the store as the process default makes every framework
@@ -504,7 +513,8 @@ class ExperimentRunner:
             store_path = (str(self.oracle_store.root)
                           if self.oracle_store is not None else None)
             tasks = [(spec.name, run_scale, seed,
-                      self.context.scenario_filter, store_path)
+                      self.context.scenario_filter, store_path,
+                      self.context.fleet_devices)
                      for seed in run_seeds]
             pool = self._ensure_executor(run_jobs)
             out.seed_runs = list(pool.map(_pooled_seed_run, tasks))
@@ -543,6 +553,7 @@ def _register_builtins() -> None:
         run_noc_model_comparison,
     )
     from repro.experiments.figure2 import format_figure2, run_figure2
+    from repro.experiments.fleet import format_fleet, run_fleet
     from repro.experiments.figure3 import format_figure3, run_figure3
     from repro.experiments.figure4 import format_figure4, run_figure4
     from repro.experiments.figure5 import format_figure5, run_figure5
@@ -595,6 +606,17 @@ def _register_builtins() -> None:
             scenarios=getattr(ctx, "scenario_filter", None),
         ),
         formatter=format_robustness, tags=("robustness", "scenario"),
+        uses_design_oracle=True,
+    )
+    register_experiment(
+        "fleet",
+        "Lockstep multi-device fleet rollout of the online-IL policy",
+        lambda scale, seed, ctx: run_fleet(
+            scale, seed=seed,
+            n_devices=getattr(ctx, "fleet_devices", None),
+            scenarios=getattr(ctx, "scenario_filter", None),
+        ),
+        formatter=format_fleet, tags=("fleet", "scenario"),
         uses_design_oracle=True,
     )
     register_experiment(
@@ -675,20 +697,54 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
         dest="scenarios",
-        help="restrict scenario-driven experiments (robustness) to this "
-             "registered scenario; repeatable (default: all scenarios)",
+        help="restrict scenario-driven experiments (robustness, fleet) to "
+             "this registered scenario; repeatable (default: all scenarios)",
+    )
+    parser.add_argument(
+        "--devices", type=int, default=None, metavar="N", dest="devices",
+        help="device count for the fleet experiment (default: the "
+             "experiment's built-in fleet size)",
     )
     parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list registered experiments and scales, then exit",
     )
+    parser.add_argument(
+        "--json", action="store_true", dest="list_json",
+        help="with --list: print the registry as JSON (name, tags, "
+             "description per experiment, plus scales and scenarios)",
+    )
     return parser
+
+
+def _registry_payload() -> Dict[str, Any]:
+    """Machine-readable registry snapshot (``--list --json``)."""
+    from repro.scenarios import available_scenarios
+    return {
+        "experiments": [
+            {
+                "name": name,
+                "description": get_experiment(name).description,
+                "tags": list(get_experiment(name).tags),
+            }
+            for name in available_experiments()
+        ],
+        "scales": available_scales(),
+        "scenarios": available_scenarios(),
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.experiments``."""
     args = _build_parser().parse_args(argv)
+    if args.list_json and not args.list_experiments:
+        print("error: --json requires --list", file=sys.stderr)
+        return 2
     if args.list_experiments:
+        if args.list_json:
+            import json
+            print(json.dumps(_registry_payload(), indent=2, sort_keys=True))
+            return 0
         from repro.scenarios import available_scenarios
         print("Registered experiments:")
         for name in available_experiments():
@@ -708,6 +764,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.devices is not None and args.devices < 1:
+        print("error: --devices must be >= 1", file=sys.stderr)
+        return 2
     if args.scenarios:
         from repro.scenarios import available_scenarios
         unknown = sorted(set(args.scenarios) - set(available_scenarios()))
@@ -719,7 +778,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs,
                                   scenario_filter=args.scenarios,
-                                  oracle_store=args.oracle_store)
+                                  oracle_store=args.oracle_store,
+                                  fleet_devices=args.devices)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -739,6 +799,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: --scenario has no effect on "
                   f"{names}; scenario-driven experiments: "
                   f"{available_experiments(tag='scenario')}", file=sys.stderr)
+            return 2
+    if args.devices is not None:
+        consumers = [name for name in names
+                     if name in _EXPERIMENT_REGISTRY
+                     and "fleet" in get_experiment(name).tags]
+        if not consumers:
+            print("error: --devices has no effect on "
+                  f"{names}; fleet experiments: "
+                  f"{available_experiments(tag='fleet')}", file=sys.stderr)
             return 2
     exit_code = 0
     with runner:

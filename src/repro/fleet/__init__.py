@@ -1,0 +1,29 @@
+"""Lockstep multi-device fleet simulation.
+
+Public surface:
+
+* :class:`~repro.fleet.device.DeviceSpec` — one device's policy, trace,
+  seed, and optional scenario / restricted space.
+* :func:`~repro.fleet.device.build_fleet` /
+  :func:`~repro.fleet.device.device_session` — lower device specs onto
+  sessions and a ready engine.
+* :class:`~repro.fleet.engine.FleetEngine` — advance N sessions in
+  lockstep with cross-session batched decides and executions, bitwise
+  identical to N independent sequential runs.
+* :func:`~repro.fleet.kernels.lockstep_execute` /
+  :class:`~repro.fleet.kernels.TraceArrays` — the vectorized
+  many-device execution kernel.
+"""
+
+from repro.fleet.device import DeviceSpec, build_fleet, device_session
+from repro.fleet.engine import FleetEngine
+from repro.fleet.kernels import TraceArrays, lockstep_execute
+
+__all__ = [
+    "DeviceSpec",
+    "FleetEngine",
+    "TraceArrays",
+    "build_fleet",
+    "device_session",
+    "lockstep_execute",
+]

@@ -1,0 +1,115 @@
+"""Device descriptions for fleet simulations.
+
+A :class:`DeviceSpec` captures everything that distinguishes one device of
+a fleet: its name, its policy instance (with whatever learned state it
+carries), its snippet trace *or* scenario trace, its own seed (or
+generator) for measurement noise, an optional per-device restricted
+configuration space, and an optional Oracle table for accuracy/energy
+normalisation.  :func:`device_session` lowers a spec onto a
+:class:`~repro.core.session.PolicySession`; :func:`build_fleet` lowers a
+whole device list onto a ready :class:`~repro.fleet.engine.FleetEngine`.
+
+Scenario-driven devices get their snippets and throttle schedule from the
+scenario trace via :func:`~repro.scenarios.runtime.make_space_schedule`,
+exactly like :func:`~repro.scenarios.runtime.run_policy_on_scenario` does
+for single runs — so a throttled fleet device behaves bitwise like the
+equivalent sequential scenario run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.control.policy import DRMPolicy
+from repro.core.oracle import OracleTable
+from repro.core.session import PolicySession
+from repro.fleet.engine import FleetEngine
+from repro.scenarios.base import ScenarioTrace
+from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
+from repro.soc.simulator import SoCSimulator
+from repro.soc.snippet import Snippet
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class DeviceSpec:
+    """One device of a simulated fleet.
+
+    Exactly one of ``snippets`` / ``scenario`` provides the trace.  ``seed``
+    derives the device's private measurement-noise generator (``rng``
+    overrides it with an explicit generator); fleets whose devices share a
+    generator lose the lockstep==sequential equivalence, so give every
+    device its own.  ``space`` optionally restricts this device to a
+    subset of the fleet's base configuration space (e.g. a permanently
+    capped low-cost SKU).
+    """
+
+    name: str
+    policy: DRMPolicy
+    snippets: Sequence[Snippet] = field(default_factory=tuple)
+    scenario: Optional[ScenarioTrace] = None
+    seed: Optional[SeedLike] = None
+    rng: Optional[np.random.Generator] = None
+    space: Optional[ConfigurationSpace] = None
+    oracle_table: Optional[OracleTable] = None
+    initial_configuration: Optional[SoCConfiguration] = None
+    reset_policy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scenario is not None and len(self.snippets) > 0:
+            raise ValueError(
+                f"device {self.name!r}: give either snippets or a scenario, "
+                "not both"
+            )
+        if self.scenario is None and len(self.snippets) == 0:
+            raise ValueError(f"device {self.name!r} has no trace to run")
+
+
+def device_session(
+    device: DeviceSpec,
+    simulator: SoCSimulator,
+    base_space: ConfigurationSpace,
+) -> PolicySession:
+    """Lower one :class:`DeviceSpec` onto a :class:`PolicySession`."""
+    from repro.scenarios.runtime import make_space_schedule
+
+    space = device.space if device.space is not None else base_space
+    if device.scenario is not None:
+        snippets: Sequence[Snippet] = device.scenario.snippets
+        schedule = make_space_schedule(space, device.scenario)
+    else:
+        snippets = device.snippets
+        schedule = None
+    rng = device.rng
+    if rng is None and device.seed is not None:
+        rng = make_rng(device.seed)
+    return PolicySession(
+        simulator,
+        space,
+        device.policy,
+        snippets,
+        oracle_table=device.oracle_table,
+        rng=rng,
+        reset_policy=device.reset_policy,
+        initial_configuration=device.initial_configuration,
+        space_schedule=schedule,
+        name=device.name,
+    )
+
+
+def build_fleet(
+    devices: Sequence[DeviceSpec],
+    simulator: SoCSimulator,
+    base_space: ConfigurationSpace,
+    batch_decide: bool = True,
+    batch_execute: bool = True,
+) -> FleetEngine:
+    """Lower a device list onto a ready-to-run :class:`FleetEngine`."""
+    sessions: List[PolicySession] = [
+        device_session(device, simulator, base_space) for device in devices
+    ]
+    return FleetEngine(sessions, batch_decide=batch_decide,
+                       batch_execute=batch_execute)

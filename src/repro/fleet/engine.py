@@ -1,0 +1,390 @@
+"""Lockstep fleet engine: advance many :class:`PolicySession`\\ s together.
+
+The paper's deployment story is the online-IL governor running on *every*
+device of a fleet.  :class:`FleetEngine` simulates exactly that: ``N``
+heterogeneous devices — each with its own seed, snippet sequence, policy
+state and (optionally) scenario schedule or restricted configuration space
+— advanced one decision epoch at a time, in lockstep.
+
+Equivalence contract
+--------------------
+A lockstep fleet produces **bitwise-identical per-device RunLogs** to the
+same ``N`` sessions driven to completion sequentially, provided each
+session owns an independent measurement-noise generator (sessions share no
+mutable state, so interleaving their steps cannot change any value).  The
+engine exploits that freedom on two phases:
+
+* **decide** — sessions whose policies advertise a shared
+  :meth:`~repro.control.policy.DRMPolicy.fleet_decide_key` have their
+  per-step decisions computed by one batched
+  :meth:`~repro.control.policy.DRMPolicy.fleet_decide` call (the policy
+  implements the batch as an exact mirror of its scalar rule); everyone
+  else falls back to per-session scalar :meth:`~repro.core.session
+  .PolicySession.decide`.
+* **execute** — sessions running on a stock
+  :class:`~repro.soc.simulator.SoCSimulator` are executed through the
+  cross-session vectorized kernel
+  (:func:`~repro.fleet.kernels.lockstep_execute`).  Their
+  configuration-independent snippet characteristics and their pre-drawn
+  log-normal noise factors (consumed from each device's own generator in
+  the scalar draw order) live in fleet-wide padded tensors built once at
+  :meth:`prepare`, so the per-step inputs are two fancy-indexing gathers.
+  Sessions with exotic simulators (or shared/missing generators) fall
+  back to scalar :meth:`~repro.core.session.PolicySession.execute`.
+
+The **observe** phase is always per-session (it feeds policy-specific
+learning state and the per-device logs), which is also what lets
+non-batchable learning policies (online-IL) ride in the same fleet: their
+decisions stay scalar, their executions still batch.
+
+Once :meth:`run` (or :meth:`prepare`) has adopted a session for batched
+execution, its noise stream has been pre-drawn — keep driving it through
+the engine rather than calling ``session.execute`` directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import PolicySession, SessionStep
+from repro.fleet.kernels import TraceArrays, lockstep_execute
+from repro.soc.simulator import SnippetResult, SoCSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet -> core)
+    from repro.core.framework import PolicyRunResult
+
+
+class _ExecGroup:
+    """Sessions sharing one simulator, with fleet-wide step tensors.
+
+    ``chars`` is the padded ``(n_sessions, T_max, n_columns)`` snippet
+    characteristics tensor and ``noise`` the matching ``(n_sessions,
+    T_max, 2)`` pre-drawn ``exp(normal)`` factor tensor (``None`` for
+    noise-free simulators); ``row_of`` maps session id to tensor row.
+    One step of the group gathers both with a single fancy index.
+    """
+
+    __slots__ = ("simulator", "sessions", "chars", "noise", "row_of",
+                 "uniform_soa", "active_members", "active_rows")
+
+    def __init__(self, simulator: SoCSimulator,
+                 sessions: List[PolicySession]) -> None:
+        self.simulator = simulator
+        self.sessions = sessions
+        self.row_of: Dict[int, int] = {
+            id(session): row for row, session in enumerate(sessions)
+        }
+        spaces = {id(session.space) for session in sessions}
+        self.uniform_soa = (sessions[0].space.soa_view()
+                            if len(spaces) == 1 else None)
+        self.active_members: List[PolicySession] = []
+        self.active_rows = np.empty(0, dtype=np.intp)
+        t_max = max(len(session) for session in sessions)
+        traces = [TraceArrays(session.snippets) for session in sessions]
+        n_columns = traces[0].matrix.shape[1]
+        self.chars = np.zeros((len(sessions), t_max, n_columns))
+        for row, trace in enumerate(traces):
+            self.chars[row, :len(trace)] = trace.matrix
+        noise_scale = simulator.noise_scale
+        if noise_scale == 0.0:
+            self.noise: Optional[np.ndarray] = None
+            return
+        self.noise = np.ones((len(sessions), t_max, 2))
+        for row, session in enumerate(sessions):
+            remaining = len(session) - session.step_index
+            if remaining <= 0:
+                continue
+            # Exactly the scalar path's per-step draws: two normals per
+            # step (time then power), consumed in step order from the
+            # session's own generator, exponentiated elementwise.
+            start = session.step_index
+            self.noise[row, start:start + remaining] = np.exp(
+                session.rng.normal(0.0, noise_scale, size=(remaining, 2))
+            )
+
+    def refresh(self) -> None:
+        self.active_members = [session for session in self.sessions
+                               if session._cursor < session._trace_len]
+        row_of = self.row_of
+        self.active_rows = np.fromiter(
+            (row_of[id(session)] for session in self.active_members),
+            dtype=np.intp, count=len(self.active_members),
+        )
+
+
+class _DecideGroup:
+    """Sessions whose policies share one batched-decide key.
+
+    ``active_members``/``active_policies`` cache the not-yet-finished
+    subset; the engine refreshes them only when some session completes,
+    so steady-state steps skip the per-step filtering entirely.
+    """
+
+    __slots__ = ("sessions", "active_members", "active_policies")
+
+    def __init__(self, sessions: List[PolicySession]) -> None:
+        self.sessions = sessions
+        self.active_members: List[PolicySession] = []
+        self.active_policies: List = []
+
+    def refresh(self) -> None:
+        self.active_members = [session for session in self.sessions
+                               if session._cursor < session._trace_len]
+        self.active_policies = [session.policy
+                                for session in self.active_members]
+
+
+class FleetEngine:
+    """Advances a set of policy sessions in lockstep with cross-session batching."""
+
+    def __init__(
+        self,
+        sessions: Sequence[PolicySession],
+        batch_decide: bool = True,
+        batch_execute: bool = True,
+    ) -> None:
+        self.sessions: List[PolicySession] = list(sessions)
+        if not self.sessions:
+            raise ValueError("FleetEngine needs at least one session")
+        self.batch_decide = bool(batch_decide)
+        self.batch_execute = bool(batch_execute)
+        self.steps_executed = 0
+        self.batched_executions = 0
+        self.batched_decisions = 0
+        self._prepared = False
+        self._scalar_decide: List[PolicySession] = []
+        self._decide_groups: List[_DecideGroup] = []
+        self._exec_groups: List[_ExecGroup] = []
+        self._scalar_execute: List[PolicySession] = []
+        self._active: List[PolicySession] = []
+        self._active_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def _session_decide_key(self, session: PolicySession) -> Optional[Tuple]:
+        """Batched-decide group key of ``session`` (None = scalar fallback).
+
+        Batching a decide requires the policy to reason over exactly the
+        session's space with no scenario schedule in force — otherwise the
+        clamp/throttle phase (which the batched path skips) could alter
+        the executed configuration.
+        """
+        if not self.batch_decide:
+            return None
+        if session.space_schedule is not None:
+            return None
+        if session.policy.space is not session.space:
+            return None
+        return session.policy.fleet_decide_key()
+
+    def _execute_batchable(self, session: PolicySession,
+                           rng_users: Counter) -> bool:
+        """Whether ``session`` may run through the vectorized kernel.
+
+        Requires a stock :class:`SoCSimulator` execution path (subclasses
+        overriding ``run_snippet`` keep their override) and a private
+        noise generator — pre-drawing from a stream some other consumer
+        also draws from (another session, the simulator itself, or the
+        session's own policy via a shared/aliased generator) would reorder
+        draws relative to sequential runs.  Policies stashing a generator
+        under an unconventional attribute name escape the heuristic
+        aliasing check — give every device a generator of its own.
+        """
+        if not self.batch_execute:
+            return False
+        simulator = session.simulator
+        if type(simulator).run_snippet is not SoCSimulator.run_snippet:
+            return False
+        rng = session.rng
+        if rng is None or rng is simulator.rng:
+            return False
+        for attr in ("rng", "_rng"):
+            if getattr(session.policy, attr, None) is rng:
+                return False
+        return rng_users[id(rng)] == 1
+
+    def prepare(self) -> None:
+        """Classify sessions and build the fleet step tensors (idempotent)."""
+        if self._prepared:
+            return
+        rng_users = Counter(
+            id(session.rng) for session in self.sessions
+            if session.rng is not None
+        )
+        decide_groups: Dict[Tuple, List[PolicySession]] = {}
+        exec_groups: Dict[int, List[PolicySession]] = {}
+        for session in self.sessions:
+            key = self._session_decide_key(session)
+            if key is None:
+                self._scalar_decide.append(session)
+            else:
+                decide_groups.setdefault(key, []).append(session)
+            if self._execute_batchable(session, rng_users):
+                exec_groups.setdefault(id(session.simulator), []).append(session)
+            else:
+                self._scalar_execute.append(session)
+        self._decide_groups = [
+            _DecideGroup(members) for members in decide_groups.values()
+        ]
+        self._exec_groups = [
+            _ExecGroup(members[0].simulator, members)
+            for members in exec_groups.values()
+        ]
+        self._prepared = True
+
+    # ------------------------------------------------------------------ #
+    # Lockstep stepping
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return all(session.done for session in self.sessions)
+
+    def step(self) -> int:
+        """Advance every unfinished session by one step; returns the count."""
+        self.prepare()
+        if self._active_dirty:
+            self._refresh_active()
+            self._active_dirty = False
+        active = self._active
+        if not active:
+            return 0
+        self._decide_phase()
+        self._execute_and_observe_phase()
+        self.steps_executed += len(active)
+        for session in active:
+            if session.done:
+                self._active_dirty = True
+                break
+        return len(active)
+
+    def run(self) -> List["PolicyRunResult"]:
+        """Drive every session to completion; returns per-device results."""
+        self.prepare()
+        while not self.done:
+            self.step()
+        return [session.result() for session in self.sessions]
+
+    # ------------------------------------------------------------------ #
+    # Phase implementations
+    # ------------------------------------------------------------------ #
+    def _refresh_active(self) -> None:
+        """Rebuild the cached not-yet-finished views (on fleet shrinkage)."""
+        self._active = [session for session in self.sessions
+                        if session._cursor < session._trace_len]
+        for decide_group in self._decide_groups:
+            decide_group.refresh()
+        for exec_group in self._exec_groups:
+            exec_group.refresh()
+
+    def _decide_phase(self) -> None:
+        """Install a pending :class:`SessionStep` on every active session."""
+        for session in self._scalar_decide:
+            if session._cursor < session._trace_len:
+                session.decide()
+        step_from_values = SessionStep._from_values
+        for group in self._decide_groups:
+            members = group.active_members
+            if not members:
+                continue
+            policies = group.active_policies
+            counters = [session.counters for session in members]
+            snippets = []
+            for session in members:
+                if session._pending is not None:
+                    # Same invariant session.decide() enforces: a step
+                    # decided outside the engine (or left behind by a
+                    # failed observe) must not be silently clobbered —
+                    # its policy state already advanced past ours.
+                    raise RuntimeError(
+                        f"session {session.name!r} has an unobserved "
+                        "pending step"
+                    )
+                snippets.append(session.snippets[session._cursor])
+            configs, indices = type(policies[0]).fleet_decide(
+                policies, counters, snippets
+            )
+            for session, snippet, config, index in zip(
+                    members, snippets, configs, indices):
+                # Fast-path construction of the step the session's own
+                # decide() would have produced; installing it directly is
+                # adopt_step() minus the cursor-alignment check the
+                # lockstep loop guarantees by construction (the pending
+                # check ran above).
+                session._pending = step_from_values({
+                    "index": session._cursor,
+                    "snippet": snippet,
+                    "proposed": config,
+                    "configuration": config,
+                    "throttled": False,
+                    "configuration_index": index,
+                })
+            self.batched_decisions += len(members)
+
+    def _execute_and_observe_phase(self) -> None:
+        """Execute every pending step and feed the outcomes back."""
+        for group in self._exec_groups:
+            members = group.active_members
+            if not members:
+                continue
+            results = self._execute_group(group, members)
+            for session, result in zip(members, results):
+                session.observe(session._pending, result)
+            self.batched_executions += len(members)
+        for session in self._scalar_execute:
+            step = session._pending
+            if step is not None:
+                session.observe(step, session.execute(step))
+
+    def _execute_group(
+        self,
+        group: _ExecGroup,
+        members: Sequence[PolicySession],
+    ) -> List[SnippetResult]:
+        n = len(members)
+        rows = group.active_rows
+        cursors = np.fromiter((session._cursor for session in members),
+                              dtype=np.intp, count=n)
+        char_rows = group.chars[rows, cursors]
+        noise = None if group.noise is None else group.noise[rows, cursors]
+        group_steps = [session._pending for session in members]
+        simulator = group.simulator
+        cluster_names = simulator.platform.cluster_names
+        opp_index: Dict[str, np.ndarray] = {}
+        cores: Dict[str, np.ndarray] = {}
+        soa = group.uniform_soa
+        if (soa is not None
+                and all(step.configuration_index is not None
+                        for step in group_steps)):
+            # Every decided configuration is index-addressed in one shared
+            # space: gather the knob columns straight from its SoA view.
+            indices = np.fromiter(
+                (step.configuration_index for step in group_steps),
+                dtype=np.intp, count=n,
+            )
+            for name in cluster_names:
+                arrays = soa.cluster(name)
+                opp_index[name] = arrays.opp_index[indices]
+                cores[name] = arrays.active_cores[indices]
+        else:
+            for name in cluster_names:
+                opp_index[name] = np.fromiter(
+                    (step.configuration.opp_index(name)
+                     for step in group_steps), dtype=np.intp, count=n,
+                )
+                cores[name] = np.fromiter(
+                    (step.configuration.cores(name)
+                     for step in group_steps), dtype=np.intp, count=n,
+                )
+        return lockstep_execute(
+            simulator,
+            [step.snippet for step in group_steps],
+            char_rows,
+            opp_index,
+            cores,
+            [step.configuration for step in group_steps],
+            noise,
+        )

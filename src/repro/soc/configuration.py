@@ -193,6 +193,8 @@ class ConfigurationSpace:
         self._restrictions: Dict[Tuple[Tuple[str, int], ...],
                                  "ConfigurationSpace"] = {}
         self._soa: Optional[SpaceArrays] = None
+        self._opp_lookup: Optional[np.ndarray] = None
+        self._default_index: Optional[int] = None
         self._neighbor_tables: Dict[Tuple[int, int, bool], np.ndarray] = {}
         self._neighbor_views: Dict[Tuple[int, int, bool], NeighborhoodView] = {}
         self._clamp_cache: Dict[SoCConfiguration, SoCConfiguration] = {}
@@ -250,6 +252,17 @@ class ConfigurationSpace:
             opp_map[name] = min(len(spec.opps) // 2, self._max_opp_index(name))
             core_map[name] = spec.n_cores
         return SoCConfiguration.from_dicts(opp_map, core_map)
+
+    def default_index(self) -> int:
+        """Index of :meth:`default_configuration` (memoised).
+
+        The default configuration is a constant of the space; hot paths
+        (the batched fleet decide's contains-fallback) use this instead of
+        rebuilding and re-hashing the configuration every step.
+        """
+        if self._default_index is None:
+            self._default_index = self.index_of(self.default_configuration())
+        return self._default_index
 
     def restrict(
         self,
@@ -492,6 +505,33 @@ class ConfigurationSpace:
                 cluster_order=tuple(self.cluster_order), clusters=clusters
             )
         return self._soa
+
+    def opp_lookup_table(self) -> Optional[np.ndarray]:
+        """Dense OPP-combination -> configuration-index table (non-gated only).
+
+        One axis per cluster (in ``cluster_order``), sized by the
+        *platform's full* OPP table; entry ``[i_0, ..., i_k]`` is the index
+        of the configuration with those per-cluster OPP indices, or ``-1``
+        when the combination lies outside this space (an active throttle
+        cap).  Without core gating the OPP indices identify a
+        configuration uniquely, which is what makes the table well defined;
+        gated spaces return ``None``.  Used by cross-session batched
+        decides (fleet lockstep) to turn vectors of per-cluster OPP
+        indices into configuration indices with one fancy-indexing gather.
+        Built once and cached — treat it as read-only.
+        """
+        if self.gated_clusters:
+            return None
+        if self._opp_lookup is None:
+            shape = tuple(len(self.platform.clusters[name].opps)
+                          for name in self.cluster_order)
+            table = np.full(shape, -1, dtype=np.intp)
+            for i, config in enumerate(self._configs):
+                key = tuple(config.opp_index(name)
+                            for name in self.cluster_order)
+                table[key] = i
+            self._opp_lookup = table
+        return self._opp_lookup
 
     def cache_key(self) -> Tuple:
         """Content-derived key identifying this space (for Oracle caches).

@@ -73,6 +73,19 @@ class PerformanceCounters:
             if not 0.0 <= value <= 1.0 + 1e-9:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
 
+    @classmethod
+    def _from_values(cls, values: Dict[str, float]) -> "PerformanceCounters":
+        """Hot-path constructor adopting ``values`` as the instance state.
+
+        Bypasses ``__init__``/``__post_init__`` (validation included) —
+        callers guarantee a complete field dict whose values would pass
+        validation (the fleet kernel's values mirror the scalar path,
+        which validates the identical numbers every step).
+        """
+        counters = cls.__new__(cls)
+        counters.__dict__ = values
+        return counters
+
     def as_dict(self) -> Dict[str, float]:
         return {f.name: float(getattr(self, f.name)) for f in fields(self)}
 

@@ -21,18 +21,38 @@ class EnergyAccount:
         self.total_time_s: float = 0.0
         self._per_application_energy: Dict[str, float] = defaultdict(float)
         self._per_application_time: Dict[str, float] = defaultdict(float)
-        self._per_component_energy: Dict[str, float] = defaultdict(float)
+        # Per-component energy is derived lazily from the retained results
+        # (the per-result breakdown loop was the most expensive part of
+        # add(), and the decomposition is only read at reporting time).
+        # The fold order on demand is identical to accumulating inside
+        # add(), so the sums are bitwise unchanged.
+        self._per_component_cache: Dict[str, float] = {}
+        self._per_component_upto: int = 0
         self._results: List[SnippetResult] = []
 
     def add(self, result: SnippetResult) -> None:
-        self.total_energy_j += result.energy_j
-        self.total_time_s += result.execution_time_s
+        energy = result.energy_j
+        time_s = result.execution_time_s
+        self.total_energy_j += energy
+        self.total_time_s += time_s
         app = result.snippet.application
-        self._per_application_energy[app] += result.energy_j
-        self._per_application_time[app] += result.execution_time_s
-        for component, power in result.power_breakdown_w.items():
-            self._per_component_energy[component] += power * result.execution_time_s
+        self._per_application_energy[app] += energy
+        self._per_application_time[app] += time_s
         self._results.append(result)
+
+    @property
+    def _per_component_energy(self) -> Dict[str, float]:
+        """Per-component sums, folded over results in arrival order."""
+        upto = self._per_component_upto
+        if upto < len(self._results):
+            per_component = defaultdict(float, self._per_component_cache)
+            for result in self._results[upto:]:
+                time_s = result.execution_time_s
+                for component, power in result.power_breakdown_w.items():
+                    per_component[component] += power * time_s
+            self._per_component_cache = dict(per_component)
+            self._per_component_upto = len(self._results)
+        return self._per_component_cache
 
     def extend(self, results) -> None:
         for result in results:

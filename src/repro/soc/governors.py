@@ -10,14 +10,27 @@ controllers in the examples and ablation benchmarks.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
 from repro.soc.counters import PerformanceCounters
 
 
 class Governor(abc.ABC):
-    """Interface for utilisation-driven per-cluster frequency governors."""
+    """Interface for utilisation-driven per-cluster frequency governors.
+
+    Subclasses may additionally implement :meth:`decide_batch` — the
+    vectorized, cross-device twin of :meth:`decide` used by the fleet
+    lockstep engine.  ``decide_batch`` receives per-device utilisation and
+    current-OPP-index arrays and returns the *raw* (unclamped) new OPP
+    indices per cluster, exactly as the scalar rule would compute them
+    before :meth:`_with_opp_indices` clamps and validates; the caller
+    applies that clamp/validate step.  Implementations must be
+    elementwise-exact mirrors of the scalar arithmetic so batched
+    decisions stay bitwise identical to per-device ones.
+    """
 
     def __init__(self, space: ConfigurationSpace) -> None:
         self.space = space
@@ -29,6 +42,14 @@ class Governor(abc.ABC):
     @abc.abstractmethod
     def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
         """Return the configuration to use for the next snippet."""
+
+    def fleet_params(self) -> Tuple:
+        """Parameters identifying this governor's decision rule.
+
+        Part of the fleet batching group key: only governors of the same
+        type with equal parameters may share one ``decide_batch`` call.
+        """
+        return ()
 
     def _cluster_utilization(self, counters: PerformanceCounters, cluster: str) -> float:
         if cluster == "big":
@@ -76,6 +97,22 @@ class OndemandGovernor(Governor):
         self.current = self._with_opp_indices(new_indices)
         return self.current
 
+    def fleet_params(self) -> Tuple:
+        return (self.up_threshold, self.down_threshold)
+
+    def decide_batch(self, utilization: Dict[str, np.ndarray],
+                     current_indices: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`decide` rule (raw indices, caller clamps)."""
+        out: Dict[str, np.ndarray] = {}
+        for name, index in current_indices.items():
+            spec = self.space.platform.cluster(name)
+            util = utilization[name]
+            out[name] = np.where(
+                util >= self.up_threshold, len(spec.opps) - 1,
+                np.where(util <= self.down_threshold, index - 1, index),
+            )
+        return out
+
 
 class InteractiveGovernor(Governor):
     """Ramp frequency proportionally to utilisation with a fast-up bias."""
@@ -85,6 +122,16 @@ class InteractiveGovernor(Governor):
         if not 0.0 < target_utilization <= 1.0:
             raise ValueError("target_utilization must be in (0, 1]")
         self.target_utilization = float(target_utilization)
+        self._frequency_tables: Dict[str, np.ndarray] = {}
+
+    def _frequencies(self, cluster: str) -> np.ndarray:
+        table = self._frequency_tables.get(cluster)
+        if table is None:
+            table = np.array(
+                self.space.platform.cluster(cluster).opps.frequencies_hz()
+            )
+            self._frequency_tables[cluster] = table
+        return table
 
     def decide(self, counters: PerformanceCounters) -> SoCConfiguration:
         opp_indices, _ = self.current.as_dicts()
@@ -103,6 +150,31 @@ class InteractiveGovernor(Governor):
         self.current = self._with_opp_indices(new_indices)
         return self.current
 
+    def fleet_params(self) -> Tuple:
+        return (self.target_utilization,)
+
+    def decide_batch(self, utilization: Dict[str, np.ndarray],
+                     current_indices: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`decide` rule (raw indices, caller clamps).
+
+        ``index_of_frequency`` is replicated as a first-minimum ``argmin``
+        over the per-OPP absolute frequency gaps — the same tie-breaking
+        as the scalar loop's strict ``<`` comparison.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for name, index in current_indices.items():
+            freqs = self._frequencies(name)
+            desired_freq = (freqs[index] * utilization[name]
+                            / self.target_utilization)
+            gaps = np.abs(freqs[None, :] - desired_freq[:, None])
+            desired_index = np.argmin(gaps, axis=1)
+            out[name] = np.where(
+                desired_index > index,
+                np.minimum(index + 2, desired_index),
+                np.maximum(index - 1, desired_index),
+            )
+        return out
+
 
 class PerformanceGovernor(Governor):
     """Always run every cluster at its maximum frequency."""
@@ -116,6 +188,15 @@ class PerformanceGovernor(Governor):
         self.current = self._with_opp_indices(new_indices)
         return self.current
 
+    def decide_batch(self, utilization: Dict[str, np.ndarray],
+                     current_indices: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {
+            name: np.full(len(index),
+                          len(self.space.platform.cluster(name).opps) - 1,
+                          dtype=np.intp)
+            for name, index in current_indices.items()
+        }
+
 
 class PowersaveGovernor(Governor):
     """Always run every cluster at its minimum frequency."""
@@ -125,3 +206,8 @@ class PowersaveGovernor(Governor):
         new_indices = {name: 0 for name in opp_indices}
         self.current = self._with_opp_indices(new_indices)
         return self.current
+
+    def decide_batch(self, utilization: Dict[str, np.ndarray],
+                     current_indices: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {name: np.zeros(len(index), dtype=np.intp)
+                for name, index in current_indices.items()}

@@ -59,6 +59,19 @@ class SnippetResult:
     counters: PerformanceCounters
     power_breakdown_w: Dict[str, float] = field(default_factory=dict)
 
+    @classmethod
+    def _from_values(cls, values: Dict) -> "SnippetResult":
+        """Hot-path constructor adopting ``values`` as the instance state.
+
+        Bypasses the generated ``__init__`` (and any future validation
+        added to it) — callers guarantee a complete, valid field dict.
+        Used by the fleet lockstep kernel, where per-device dataclass
+        construction dominates the step cost.
+        """
+        result = cls.__new__(cls)
+        result.__dict__ = values
+        return result
+
     @property
     def energy_per_instruction_nj(self) -> float:
         return self.energy_j / self.snippet.n_instructions * 1e9
@@ -242,6 +255,62 @@ class SoCSimulator:
             tables = (frequency_hz, frequency_ghz, dynamic_coeff, static_coeff)
             self._sweep_tables[cluster_name] = tables
         return tables
+
+    def _batch_utilization_and_power(
+        self,
+        opp_idx: Dict[str, np.ndarray],
+        cores: Dict[str, np.ndarray],
+        busy: Dict[str, np.ndarray],
+        total_time: np.ndarray,
+        external_requests,
+        n: int,
+    ):
+        """Array-based utilization + power model shared by the batch kernels.
+
+        Consumes per-cluster activity (busy core-seconds, OPP indices,
+        active cores) plus the total elapsed time and external-request
+        count, and returns ``(utilizations, power_breakdown, total_power)``
+        with exactly the scalar :meth:`run_snippet` arithmetic per element:
+        the per-OPP coefficients come from :meth:`_cluster_sweep_tables`
+        and every operation mirrors the scalar order, so the results are
+        bitwise identical whether the arrays span one snippet across many
+        configurations (:meth:`evaluate_expected_batch`) or many
+        (snippet, configuration) pairs across a device fleet
+        (:func:`repro.fleet.kernels.lockstep_execute`).
+        ``external_requests`` may be a scalar (one snippet) or a
+        per-element array (one per pair).
+        """
+        cluster_names = self.platform.cluster_names
+        utilizations: Dict[str, np.ndarray] = {}
+        power_breakdown: Dict[str, np.ndarray] = {}
+        total_power = np.full(n, self.platform.base_power_w)
+        power_breakdown["base"] = np.full(n, self.platform.base_power_w)
+        for name in cluster_names:
+            spec = self.platform.cluster(name)
+            active = np.minimum(np.maximum(cores[name], 0), spec.n_cores).astype(float)
+            utilization = busy[name] / (active * total_time)
+            if name == "little":
+                utilization = np.minimum(
+                    1.0, utilization + LITTLE_BACKGROUND_UTILIZATION
+                )
+            utilization = np.minimum(1.0, utilization)
+            utilizations[name] = utilization
+            _, _, dynamic_coeff, static_coeff = self._cluster_sweep_tables(name)
+            dynamic = (
+                dynamic_coeff[opp_idx[name]] * active
+                * np.minimum(np.maximum(utilization, 0.0), 1.0)
+            )
+            static = static_coeff[opp_idx[name]] * active
+            power_breakdown[f"{name}_dynamic"] = dynamic
+            power_breakdown[f"{name}_static"] = static
+            total_power = total_power + (dynamic + static)
+
+        external_bytes = external_requests * BYTES_PER_EXTERNAL_REQUEST
+        memory_traffic_gbps = external_bytes / total_time / 1e9
+        memory_power = self.platform.memory_power_w_per_gbps * memory_traffic_gbps
+        power_breakdown["memory"] = memory_power
+        total_power = total_power + memory_power
+        return utilizations, power_breakdown, total_power
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -473,37 +542,13 @@ class SoCSimulator:
         if np.any(total_time <= 0.0):
             raise ValueError("snippet produced zero execution time")
 
-        utilizations: Dict[str, np.ndarray] = {}
-        power_breakdown: Dict[str, np.ndarray] = {}
-        total_power = np.full(n, self.platform.base_power_w)
-        power_breakdown["base"] = np.full(n, self.platform.base_power_w)
-        for name in cluster_names:
-            spec = self.platform.cluster(name)
-            active = np.minimum(np.maximum(cores[name], 0), spec.n_cores).astype(float)
-            utilization = busy[name] / (active * total_time)
-            if name == "little":
-                utilization = np.minimum(
-                    1.0, utilization + LITTLE_BACKGROUND_UTILIZATION
-                )
-            utilization = np.minimum(1.0, utilization)
-            utilizations[name] = utilization
-            _, _, dynamic_coeff, static_coeff = self._cluster_sweep_tables(name)
-            dynamic = (
-                dynamic_coeff[opp_idx[name]] * active
-                * np.minimum(np.maximum(utilization, 0.0), 1.0)
-            )
-            static = static_coeff[opp_idx[name]] * active
-            power_breakdown[f"{name}_dynamic"] = dynamic
-            power_breakdown[f"{name}_static"] = static
-            total_power = total_power + (dynamic + static)
-
         l2_misses = snippet.n_instructions * chars.memory_intensity / 1000.0
         external_requests = l2_misses * chars.external_request_rate
-        external_bytes = external_requests * BYTES_PER_EXTERNAL_REQUEST
-        memory_traffic_gbps = external_bytes / total_time / 1e9
-        memory_power = self.platform.memory_power_w_per_gbps * memory_traffic_gbps
-        power_breakdown["memory"] = memory_power
-        total_power = total_power + memory_power
+        utilizations, power_breakdown, total_power = (
+            self._batch_utilization_and_power(
+                opp_idx, cores, busy, total_time, external_requests, n
+            )
+        )
 
         energy = total_power * total_time
         total_cycles = np.zeros(n)

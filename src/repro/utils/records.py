@@ -22,6 +22,18 @@ class RunRecord:
     step: int
     values: Dict[str, float] = field(default_factory=dict)
 
+    @classmethod
+    def _from_values(cls, step: int, values: Dict[str, float]) -> "RunRecord":
+        """Hot-path constructor bypassing the generated ``__init__``.
+
+        ``values`` must already be plain floats (the coercion
+        :meth:`RunLog.append` would apply is the caller's job).
+        """
+        record = cls.__new__(cls)
+        record.step = step
+        record.values = values
+        return record
+
     def __getitem__(self, key: str) -> float:
         return self.values[key]
 
@@ -37,6 +49,16 @@ class RunLog:
 
     def append(self, step: int, **values: float) -> RunRecord:
         record = RunRecord(step=step, values={k: float(v) for k, v in values.items()})
+        self._records.append(record)
+        return record
+
+    def append_record(self, record: RunRecord) -> RunRecord:
+        """Append a pre-built record.
+
+        Fast path for hot loops that already hold a values dict of plain
+        floats (the coercion :meth:`append` would apply must have been
+        done by the caller).
+        """
         self._records.append(record)
         return record
 

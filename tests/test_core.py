@@ -274,3 +274,54 @@ class TestFrameworkRunner:
         policy = trained_framework.build_oracle_policy(short_trace)
         run = trained_framework.evaluate_policy_on_snippets(policy, short_trace)
         assert run.normalized_energy == pytest.approx(1.0, abs=0.03)
+
+
+class TestAccuracySeriesEdgeCases:
+    """PolicyRunResult.accuracy_series / final_accuracy corner cases."""
+
+    @staticmethod
+    def _result_with_matches(matches):
+        """A PolicyRunResult whose log carries the given oracle_match
+        column (``None`` entries are steps missing from the Oracle table)."""
+        from repro.core.framework import PolicyRunResult
+        from repro.soc.energy import EnergyAccount
+        from repro.utils.records import RunLog
+
+        log = RunLog()
+        for step, match in enumerate(matches):
+            record = {"energy_j": 1.0, "time_s": 0.5, "power_w": 2.0}
+            if match is not None:
+                record["oracle_match"] = float(match)
+            log.append(step, **record)
+        return PolicyRunResult(policy_name="stub", log=log,
+                               account=EnergyAccount())
+
+    def test_empty_run_raises(self):
+        run = self._result_with_matches([])
+        with pytest.raises(ValueError, match="empty"):
+            run.accuracy_series()
+        with pytest.raises(ValueError, match="empty"):
+            run.final_accuracy()
+
+    def test_window_longer_than_run(self):
+        run = self._result_with_matches([1.0, 0.0, 1.0])
+        series = run.accuracy_series(window=100)
+        # Head windows shrink: element i averages every match up to i.
+        np.testing.assert_allclose(series, [100.0, 50.0, 200.0 / 3.0])
+        assert run.final_accuracy(window=100) == pytest.approx(200.0 / 3.0)
+
+    def test_all_nan_prefix_yields_leading_nans(self):
+        """Steps missing from the Oracle table (e.g. a cold-start prefix)
+        are excluded from the windows instead of poisoning them."""
+        run = self._result_with_matches([None, None, 1.0, 0.0])
+        series = run.accuracy_series(window=2)
+        assert np.isnan(series[0]) and np.isnan(series[1])
+        assert series[2] == 100.0
+        assert series[3] == 50.0
+        # final_accuracy reads the last window, which has real matches.
+        assert run.final_accuracy(window=2) == 50.0
+
+    def test_all_missing_matches_still_raises(self):
+        run = self._result_with_matches([None, None])
+        with pytest.raises(ValueError, match="Oracle"):
+            run.accuracy_series()

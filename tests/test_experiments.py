@@ -286,3 +286,48 @@ class TestRunnerOracleStore:
             assert key in metadata
         assert metadata["oracle_cache_misses"] > 0
         assert "oracle cache:" in run.format()
+
+
+class TestCLIListing:
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.experiments.runner import available_experiments, main
+
+        assert main(["--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload["experiments"]]
+        assert names == available_experiments()
+        assert "fleet" in names
+        for entry in payload["experiments"]:
+            assert set(entry) == {"name", "description", "tags"}
+            assert entry["description"]
+        assert "tiny" in payload["scales"]
+        assert payload["scenarios"]
+
+    def test_json_without_list_is_an_error(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--json"]) == 2
+        assert "--json requires --list" in capsys.readouterr().err
+
+    def test_plain_list_mentions_fleet(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out
+        assert "Scales:" in out
+
+    def test_devices_flag_requires_fleet_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--scale", "tiny", "--devices", "4"]) == 2
+        assert "--devices has no effect" in capsys.readouterr().err
+
+    def test_cli_fleet_devices_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fleet", "--scale", "tiny", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 devices" in out

@@ -1,0 +1,464 @@
+"""Tests for the lockstep fleet engine and its batched kernels.
+
+The acceptance bar is the equivalence contract: a lockstep fleet of N
+devices — batched decides, batched executions, pre-drawn noise streams —
+produces **bitwise-identical per-device RunLogs** to N independent
+sequential runs of the same sessions.  These tests pin that contract for
+every batching combination (governor fleets, mixed-policy fleets, ragged
+trace lengths, throttled scenario devices, restricted per-device spaces,
+online-IL learning devices) plus the capability plumbing around it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.policy import GovernorPolicy, StaticPolicy
+from repro.core.framework import run_policy_on_snippets
+from repro.fleet import DeviceSpec, FleetEngine, TraceArrays, build_fleet
+from repro.fleet.kernels import lockstep_execute
+from repro.scenarios import get_scenario
+from repro.scenarios.runtime import run_policy_on_scenario
+from repro.soc.configuration import ConfigurationSpace
+from repro.soc.governors import (
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.soc.simulator import SoCSimulator
+from repro.workloads.generator import SnippetTraceGenerator
+from repro.workloads.suites import training_workloads
+
+LOG_KEYS = ("energy_j", "time_s", "power_w", "big_opp", "little_opp")
+
+
+def make_trace(i, factor=0.3, extra=0):
+    generator = SnippetTraceGenerator(seed=100 + i)
+    workloads = training_workloads()
+    trace = generator.generate(workloads[i % len(workloads)].scaled(factor))
+    for j in range(extra):
+        trace.extend(generator.generate(
+            workloads[(i + j + 1) % len(workloads)].scaled(factor)
+        ))
+    return trace
+
+
+def assert_runs_bitwise_equal(reference, actual, keys=LOG_KEYS):
+    assert len(reference.log) == len(actual.log)
+    for key in keys:
+        np.testing.assert_array_equal(
+            reference.log.column(key), actual.log.column(key), err_msg=key
+        )
+    assert reference.total_energy_j == actual.total_energy_j
+    assert reference.total_time_s == actual.total_time_s
+    assert reference.per_application_energy() == actual.per_application_energy()
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level equivalence
+# --------------------------------------------------------------------- #
+class TestLockstepKernel:
+    def test_lockstep_execute_matches_run_snippet(self, platform, space):
+        """Random (snippet, config) pairs: kernel == scalar, bitwise."""
+        simulator = SoCSimulator(platform, noise_scale=0.02, seed=0)
+        rng = np.random.default_rng(42)
+        snippets = [s for w in training_workloads()
+                    for s in SnippetTraceGenerator(seed=5).generate(w.scaled(0.2))]
+        pairs = [(snippets[int(rng.integers(len(snippets)))],
+                  space.random_configuration(rng)) for _ in range(40)]
+
+        # Scalar reference: one private stream per lane.
+        scalar = [
+            simulator.run_snippet(snippet, config,
+                                  rng=np.random.default_rng(900 + i))
+            for i, (snippet, config) in enumerate(pairs)
+        ]
+        # Kernel: the same draws, pre-drawn exactly like FleetEngine does.
+        noise = np.exp(np.stack([
+            np.random.default_rng(900 + i).normal(
+                0.0, simulator.noise_scale, size=2)
+            for i in range(len(pairs))
+        ]))
+        chars = TraceArrays([snippet for snippet, _ in pairs]).matrix
+        opp_index = {
+            name: np.array([config.opp_index(name) for _, config in pairs],
+                           dtype=np.intp)
+            for name in platform.cluster_names
+        }
+        cores = {
+            name: np.array([config.cores(name) for _, config in pairs],
+                           dtype=np.intp)
+            for name in platform.cluster_names
+        }
+        batched = lockstep_execute(
+            simulator, [s for s, _ in pairs], chars, opp_index, cores,
+            [c for _, c in pairs], noise,
+        )
+        for ref, out in zip(scalar, batched):
+            assert ref.execution_time_s == out.execution_time_s
+            assert ref.energy_j == out.energy_j
+            assert ref.average_power_w == out.average_power_w
+            assert ref.power_breakdown_w == out.power_breakdown_w
+            assert ref.counters.as_dict() == out.counters.as_dict()
+
+    def test_noise_free_kernel_matches_deterministic_run(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=0)
+        trace = make_trace(0)
+        config = space.default_configuration()
+        scalar = [simulator.run_snippet(s, config) for s in trace]
+        chars = TraceArrays(trace).matrix
+        n = len(trace)
+        opp_index = {name: np.full(n, config.opp_index(name), dtype=np.intp)
+                     for name in platform.cluster_names}
+        cores = {name: np.full(n, config.cores(name), dtype=np.intp)
+                 for name in platform.cluster_names}
+        batched = lockstep_execute(simulator, trace, chars, opp_index, cores,
+                                   [config] * n, None)
+        for ref, out in zip(scalar, batched):
+            assert ref.energy_j == out.energy_j
+            assert ref.counters.as_dict() == out.counters.as_dict()
+
+
+# --------------------------------------------------------------------- #
+# Fleet == sequential equivalence
+# --------------------------------------------------------------------- #
+class TestFleetEquivalence:
+    @pytest.fixture()
+    def fleet_simulator(self, platform):
+        return SoCSimulator(platform, noise_scale=0.01, seed=0)
+
+    def _policies(self, space, i):
+        governors = (OndemandGovernor, PowersaveGovernor, InteractiveGovernor,
+                     PerformanceGovernor)
+        if i % 5 == 0:
+            return StaticPolicy(space)
+        return GovernorPolicy(governors[i % 4](space))
+
+    def test_mixed_policy_fleet_matches_sequential(self, fleet_simulator,
+                                                   space):
+        n = 10
+        traces = [make_trace(i) for i in range(n)]
+        sequential = [
+            run_policy_on_snippets(
+                fleet_simulator, space, self._policies(space, i), traces[i],
+                rng=np.random.default_rng(1000 + i),
+            )
+            for i in range(n)
+        ]
+        devices = [
+            DeviceSpec(name=f"d{i}", policy=self._policies(space, i),
+                       snippets=traces[i], rng=np.random.default_rng(1000 + i))
+            for i in range(n)
+        ]
+        engine = build_fleet(devices, fleet_simulator, space)
+        fleet = engine.run()
+        assert engine.batched_executions == engine.steps_executed
+        assert engine.batched_decisions > 0
+        for reference, actual in zip(sequential, fleet):
+            assert_runs_bitwise_equal(reference, actual)
+
+    def test_ragged_trace_lengths(self, fleet_simulator, space):
+        """Devices finishing at different steps keep lockstep equivalence."""
+        traces = [make_trace(i, extra=i % 3) for i in range(6)]
+        assert len({len(t) for t in traces}) > 1
+        sequential = [
+            run_policy_on_snippets(
+                fleet_simulator, space,
+                GovernorPolicy(OndemandGovernor(space)), traces[i],
+                rng=np.random.default_rng(50 + i),
+            )
+            for i in range(6)
+        ]
+        devices = [
+            DeviceSpec(name=f"d{i}",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       snippets=traces[i], rng=np.random.default_rng(50 + i))
+            for i in range(6)
+        ]
+        fleet = build_fleet(devices, fleet_simulator, space).run()
+        for reference, actual in zip(sequential, fleet):
+            assert_runs_bitwise_equal(reference, actual)
+
+    def test_restricted_space_device(self, fleet_simulator, space):
+        """A capped device's governor falls back to the default config
+        exactly like the scalar contains-check does."""
+        restricted = space.restrict(max_opp_index=2)
+        trace = make_trace(1)
+        sequential = run_policy_on_snippets(
+            fleet_simulator, restricted,
+            GovernorPolicy(PerformanceGovernor(restricted)), trace,
+            rng=np.random.default_rng(9),
+        )
+        devices = [
+            DeviceSpec(name="capped",
+                       policy=GovernorPolicy(PerformanceGovernor(restricted)),
+                       snippets=trace, space=restricted,
+                       rng=np.random.default_rng(9)),
+            DeviceSpec(name="full",
+                       policy=GovernorPolicy(PerformanceGovernor(space)),
+                       snippets=make_trace(2),
+                       rng=np.random.default_rng(10)),
+        ]
+        engine = build_fleet(devices, fleet_simulator, space)
+        fleet = engine.run()
+        assert engine.batched_decisions > 0
+        assert_runs_bitwise_equal(sequential, fleet[0])
+        # The performance governor always asks for the platform maximum,
+        # which the cap excludes -> every decision lands on the default.
+        default_opp = float(restricted.default_configuration().opp_index("big"))
+        np.testing.assert_array_equal(
+            fleet[0].log.column("big_opp")[1:],  # first step keeps initial
+            np.full(len(trace) - 1, default_opp),
+        )
+
+    def test_scenario_throttled_device(self, fleet_simulator, space):
+        trace = make_trace(3, extra=1)
+        scenario = get_scenario("thermal_throttle").apply(trace, 77)
+        assert scenario.throttle_events
+        sequential = run_policy_on_scenario(
+            fleet_simulator, space,
+            GovernorPolicy(OndemandGovernor(space)), scenario,
+            rng=np.random.default_rng(21),
+        )
+        devices = [
+            DeviceSpec(name="throttled",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       scenario=scenario, rng=np.random.default_rng(21)),
+            DeviceSpec(name="plain",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       snippets=make_trace(4), rng=np.random.default_rng(22)),
+        ]
+        engine = build_fleet(devices, fleet_simulator, space)
+        fleet = engine.run()
+        assert_runs_bitwise_equal(sequential, fleet[0],
+                                  keys=LOG_KEYS + ("throttled",))
+        assert fleet[0].log.column("throttled").sum() > 0
+
+    def test_online_il_fleet_matches_sequential(self, trained_framework):
+        """Learning devices (scalar decides, batched executions) stay
+        bitwise identical to independent sequential runs."""
+        framework = trained_framework
+        simulator = framework.simulator
+        space = framework.space
+        n = 3
+        traces = [make_trace(i, factor=0.2) for i in range(n)]
+        oracles = [framework.build_oracle_for(trace) for trace in traces]
+
+        def make_policy():
+            return framework.build_online_il_policy(
+                buffer_capacity=10, update_epochs=10, isolated=True,
+            )
+
+        sequential = [
+            run_policy_on_snippets(
+                simulator, space, make_policy(), traces[i],
+                oracle_table=oracles[i], rng=np.random.default_rng(400 + i),
+            )
+            for i in range(n)
+        ]
+        devices = [
+            DeviceSpec(name=f"d{i}", policy=make_policy(),
+                       snippets=traces[i], oracle_table=oracles[i],
+                       rng=np.random.default_rng(400 + i))
+            for i in range(n)
+        ]
+        engine = build_fleet(devices, simulator, space)
+        fleet = engine.run()
+        assert engine.batched_executions == engine.steps_executed
+        assert engine.batched_decisions == 0  # online-IL decides scalar
+        for reference, actual in zip(sequential, fleet):
+            assert_runs_bitwise_equal(
+                reference, actual,
+                keys=LOG_KEYS + ("oracle_match", "oracle_energy_j"),
+            )
+            assert reference.oracle_energy_j == actual.oracle_energy_j
+
+
+# --------------------------------------------------------------------- #
+# Capability plumbing
+# --------------------------------------------------------------------- #
+class TestBatchingEligibility:
+    def test_shared_rng_disables_batched_execution(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.01, seed=0)
+        shared = np.random.default_rng(0)
+        devices = [
+            DeviceSpec(name=f"d{i}",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       snippets=make_trace(i), rng=shared)
+            for i in range(3)
+        ]
+        engine = build_fleet(devices, simulator, space)
+        engine.run()
+        assert engine.batched_executions == 0
+
+    def test_missing_rng_disables_batched_execution(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.01, seed=0)
+        devices = [
+            DeviceSpec(name="d0", policy=StaticPolicy(space),
+                       snippets=make_trace(0), seed=1),
+            DeviceSpec(name="d1", policy=StaticPolicy(space),
+                       snippets=make_trace(1)),  # no seed, no rng
+        ]
+        engine = build_fleet(devices, simulator, space)
+        engine.run()
+        assert engine.batched_executions > 0  # d0 batches
+        assert engine.batched_executions < engine.steps_executed  # d1 scalar
+
+    def test_policy_sharing_session_rng_disables_batched_execution(
+            self, platform, space):
+        """A policy drawing from the session's generator (RandomPolicy with
+        an aliased rng) would desync against pre-drawn noise — the engine
+        must fall back to scalar execution for that device."""
+        from repro.control.policy import RandomPolicy
+
+        simulator = SoCSimulator(platform, noise_scale=0.01, seed=0)
+        shared = np.random.default_rng(5)
+        trace = make_trace(0)
+        shared_reference = np.random.default_rng(5)
+        sequential = run_policy_on_snippets(
+            simulator, space, RandomPolicy(space, shared_reference),
+            trace, rng=shared_reference,
+        )
+        devices = [DeviceSpec(name="aliased",
+                              policy=RandomPolicy(space, shared),
+                              snippets=trace, rng=shared)]
+        engine = build_fleet(devices, simulator, space)
+        fleet = engine.run()
+        assert engine.batched_executions == 0
+        assert_runs_bitwise_equal(sequential, fleet[0])
+
+    def test_external_pending_step_is_not_clobbered(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=0)
+        devices = [DeviceSpec(name="d0",
+                              policy=GovernorPolicy(OndemandGovernor(space)),
+                              snippets=make_trace(0), seed=1)]
+        engine = build_fleet(devices, simulator, space)
+        engine.prepare()
+        engine.step()
+        engine.sessions[0].decide()  # out-of-band decision
+        with pytest.raises(RuntimeError, match="unobserved pending"):
+            engine.step()
+
+    def test_throttled_session_decides_scalar(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.0, seed=0)
+        scenario = get_scenario("thermal_throttle").apply(make_trace(0, extra=1), 3)
+        devices = [DeviceSpec(name="d0",
+                              policy=GovernorPolicy(OndemandGovernor(space)),
+                              scenario=scenario, seed=4)]
+        engine = build_fleet(devices, simulator, space)
+        engine.run()
+        assert engine.batched_decisions == 0
+
+    def test_gated_space_governor_not_batchable(self, platform):
+        gated = ConfigurationSpace(platform, allow_core_gating=True,
+                                   gated_clusters=("big",))
+        policy = GovernorPolicy(OndemandGovernor(gated))
+        assert policy.fleet_decide_key() is None
+
+    def test_static_and_governor_keys_differ(self, space):
+        static = StaticPolicy(space)
+        governor = GovernorPolicy(OndemandGovernor(space))
+        assert static.fleet_decide_key() is not None
+        assert governor.fleet_decide_key() is not None
+        assert static.fleet_decide_key() != governor.fleet_decide_key()
+
+    def test_governor_params_split_groups(self, space):
+        a = GovernorPolicy(OndemandGovernor(space, up_threshold=0.8))
+        b = GovernorPolicy(OndemandGovernor(space, up_threshold=0.9))
+        assert a.fleet_decide_key() != b.fleet_decide_key()
+
+    def test_subclasses_overriding_decide_are_not_batchable(self, space):
+        """A subclass with its own scalar rule must not silently replay the
+        parent's batched rule in lockstep fleets."""
+
+        class TweakedStatic(StaticPolicy):
+            def decide(self, counters):
+                return self.configuration
+
+        assert TweakedStatic(space).fleet_decide_key() is None
+
+        class TweakedOndemand(OndemandGovernor):
+            def decide(self, counters):
+                return super().decide(counters)
+
+        assert GovernorPolicy(TweakedOndemand(space)).fleet_decide_key() is None
+
+        class TweakedGovernorPolicy(GovernorPolicy):
+            def decide(self, counters):
+                return super().decide(counters)
+
+        policy = TweakedGovernorPolicy(OndemandGovernor(space))
+        assert policy.fleet_decide_key() is None
+
+    def test_governor_subclass_with_own_batch_rule_stays_batchable(self, space):
+        """Defining decide AND its decide_batch mirror is the escape hatch."""
+
+        class PairedGovernor(OndemandGovernor):
+            def decide(self, counters):
+                return super().decide(counters)
+
+            def decide_batch(self, utilization, current_indices):
+                return super().decide_batch(utilization, current_indices)
+
+        assert GovernorPolicy(PairedGovernor(space)).fleet_decide_key() is not None
+
+
+class TestOppLookupTable:
+    def test_lookup_matches_index_of(self, space):
+        table = space.opp_lookup_table()
+        assert table is not None
+        for i, config in enumerate(space):
+            key = tuple(config.opp_index(name) for name in space.cluster_order)
+            assert table[key] == i
+
+    def test_restricted_space_marks_missing_combos(self, space):
+        restricted = space.restrict(max_opp_index=1)
+        table = restricted.opp_lookup_table()
+        assert table is not None
+        assert table.max() == len(restricted) - 1
+        assert (table == -1).any()
+
+    def test_gated_space_has_no_lookup(self, platform):
+        gated = ConfigurationSpace(platform, allow_core_gating=True)
+        assert gated.opp_lookup_table() is None
+
+
+class TestDeviceSpec:
+    def test_requires_a_trace(self, space):
+        with pytest.raises(ValueError, match="no trace"):
+            DeviceSpec(name="d", policy=StaticPolicy(space))
+
+    def test_rejects_trace_and_scenario(self, space):
+        trace = make_trace(0)
+        scenario = get_scenario("phase_churn").apply(trace, 1)
+        with pytest.raises(ValueError, match="not both"):
+            DeviceSpec(name="d", policy=StaticPolicy(space),
+                       snippets=trace, scenario=scenario)
+
+    def test_seed_derives_private_stream(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.01, seed=0)
+        devices = [DeviceSpec(name="d", policy=StaticPolicy(space),
+                              snippets=make_trace(0), seed=123)]
+        first = build_fleet(devices, simulator, space).run()
+        devices = [DeviceSpec(name="d", policy=StaticPolicy(space),
+                              snippets=make_trace(0), seed=123)]
+        second = build_fleet(devices, simulator, space).run()
+        assert_runs_bitwise_equal(first[0], second[0])
+
+
+class TestFleetExperiment:
+    def test_run_fleet_is_deterministic(self):
+        from repro.experiments.fleet import run_fleet
+        from repro.experiments.scales import TINY
+
+        first = run_fleet(TINY, seed=0, n_devices=2)
+        second = run_fleet(TINY, seed=0, n_devices=2)
+        assert first.aggregates == second.aggregates
+        assert first.n_devices == 2
+        assert first.total_steps == sum(d.steps for d in first.devices)
+        assert first.batched_execution_fraction == 1.0
+        scenarios = [d.scenario for d in first.devices]
+        assert scenarios[0] == ""  # baseline device
+        assert any(scenarios[1:])  # scenario rotation kicked in

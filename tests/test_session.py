@@ -1,0 +1,177 @@
+"""Tests for the resumable :class:`~repro.core.session.PolicySession`.
+
+The session decomposes the policy run loop into explicit
+decide -> clamp/throttle -> execute -> observe phases; these tests pin the
+state-machine semantics (phase ordering, resumability, mid-run snapshots)
+and the bitwise equivalence of session-driven runs with the historical
+closed-loop behaviour (which the golden traces also gate end to end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.policy import GovernorPolicy, StaticPolicy
+from repro.core.framework import run_policy_on_snippets
+from repro.core.session import PolicySession
+from repro.soc.governors import OndemandGovernor
+from repro.workloads.suites import training_workloads
+
+
+@pytest.fixture()
+def snippet_trace(trace_generator):
+    return trace_generator.generate(training_workloads()[0].scaled(0.3))
+
+
+def _log_columns(result):
+    return {key: result.log.column(key)
+            for key in ("energy_j", "time_s", "power_w", "big_opp",
+                        "little_opp")}
+
+
+class TestPhases:
+    def test_advance_equals_manual_phases(self, noisy_simulator, space,
+                                          snippet_trace):
+        auto = PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(7),
+        )
+        auto_result = auto.run()
+
+        manual = PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(7),
+        )
+        while not manual.done:
+            step = manual.decide()
+            assert manual.pending is step
+            result = manual.execute(step)
+            manual.observe(step, result)
+            assert manual.pending is None
+        manual_result = manual.result()
+
+        for key, column in _log_columns(auto_result).items():
+            np.testing.assert_array_equal(column, manual_result.log.column(key))
+        assert auto_result.total_energy_j == manual_result.total_energy_j
+
+    def test_session_matches_run_policy_on_snippets(self, noisy_simulator,
+                                                    space, snippet_trace):
+        reference = run_policy_on_snippets(
+            noisy_simulator, space, StaticPolicy(space), snippet_trace,
+            rng=np.random.default_rng(3),
+        )
+        session = PolicySession(
+            noisy_simulator, space, StaticPolicy(space), snippet_trace,
+            rng=np.random.default_rng(3),
+        )
+        result = session.run()
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, result.log.column(key))
+        assert reference.total_energy_j == result.total_energy_j
+
+    def test_decide_on_done_session_raises(self, simulator, space,
+                                           snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace[:1])
+        session.advance()
+        assert session.done
+        with pytest.raises(RuntimeError, match="already complete"):
+            session.decide()
+
+    def test_double_decide_raises(self, simulator, space, snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace)
+        session.decide()
+        with pytest.raises(RuntimeError, match="unobserved pending step"):
+            session.decide()
+
+    def test_execute_without_decide_raises(self, simulator, space,
+                                           snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace)
+        with pytest.raises(RuntimeError, match="no pending step"):
+            session.execute()
+
+    def test_double_observe_raises(self, simulator, space, snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace)
+        step = session.decide()
+        result = session.execute(step)
+        session.observe(step, result)
+        with pytest.raises(RuntimeError, match="no pending step to observe"):
+            session.observe(step, result)
+        assert len(session.log) == 1  # nothing was double-counted
+
+    def test_adopt_step_index_mismatch_raises(self, simulator, space,
+                                              snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace)
+        step = session.decide()
+        result = session.execute(step)
+        session.observe(step, result)
+        stale = step  # index 0, session cursor is now 1
+        with pytest.raises(ValueError, match="does not match"):
+            session.adopt_step(stale)
+
+
+class TestResumability:
+    def test_midrun_snapshot_tracks_session(self, noisy_simulator, space,
+                                            snippet_trace):
+        session = PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(11),
+        )
+        half = len(snippet_trace) // 2
+        for _ in range(half):
+            session.advance()
+        snapshot = session.result()
+        assert len(snapshot.log) == half
+        # The snapshot shares the session's log: it keeps growing.
+        session.advance()
+        assert len(snapshot.log) == half + 1
+
+    def test_paused_and_resumed_run_is_bitwise_identical(
+            self, noisy_simulator, space, snippet_trace):
+        reference = run_policy_on_snippets(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(5),
+        )
+        session = PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(5),
+        )
+        for _ in range(3):
+            session.advance()
+        resumed = session.run()  # continues from step 3
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, resumed.log.column(key))
+
+    def test_step_index_and_len(self, simulator, space, snippet_trace):
+        session = PolicySession(simulator, space, StaticPolicy(space),
+                                snippet_trace)
+        assert len(session) == len(snippet_trace)
+        assert session.step_index == 0
+        session.advance()
+        assert session.step_index == 1
+
+
+class TestThrottling:
+    def test_space_schedule_throttles_and_flags(self, simulator, space,
+                                                snippet_trace):
+        restricted = space.restrict(max_opp_index=1)
+
+        def schedule(step: int):
+            return restricted if step % 2 == 0 else space
+
+        policy = StaticPolicy(space, space[len(space) - 1])  # max everything
+        session = PolicySession(simulator, space, policy, snippet_trace,
+                                space_schedule=schedule)
+        result = session.run()
+        throttled = result.log.column("throttled")
+        np.testing.assert_array_equal(
+            throttled, [1.0 if i % 2 == 0 else 0.0
+                        for i in range(len(snippet_trace))]
+        )
+        big_opps = result.log.column("big_opp")
+        assert np.all(big_opps[::2] <= 1.0)

@@ -80,13 +80,46 @@ class DRMPolicy(abc.ABC):
         policies: Sequence["DRMPolicy"],
         counters: Sequence[Optional[PerformanceCounters]],
         snippets: Sequence[Snippet],
+        group_state: dict,
     ) -> FleetDecisions:
         """Batched decide for a group of policies sharing a fleet key.
 
         ``counters[i]`` is what ``policies[i].decide`` would have received
         (``None`` on a session's first step) and ``snippets[i]`` is the
-        snippet about to execute.  Only called on groups whose members all
-        returned the same non-``None`` :meth:`fleet_decide_key`.
+        snippet about to execute.  ``group_state`` is a mutable dict owned
+        by the fleet driver that persists across steps for this group —
+        implementations may memoise adopted cross-device stacks there
+        (stateless policies ignore it).  Only called on groups whose
+        members all returned the same non-``None`` :meth:`fleet_decide_key`.
+        """
+        raise NotImplementedError
+
+    def fleet_observe_key(self) -> Optional[Tuple]:
+        """Grouping key for cross-session batched observes (fleet lockstep).
+
+        The observe-side twin of :meth:`fleet_decide_key`: policies sharing
+        a non-``None`` key can have their per-step :meth:`observe` calls —
+        including any model updates they trigger — computed together by one
+        :meth:`fleet_observe` call.  Same strict contract: batched state
+        after the call must be bitwise identical to per-policy scalar
+        observes.  Default ``None``: observe stays scalar.
+        """
+        return None
+
+    @staticmethod
+    def fleet_observe(
+        policies: Sequence["DRMPolicy"],
+        steps: Sequence[object],
+        results: Sequence[SnippetResult],
+        group_state: dict,
+    ) -> None:
+        """Batched observe for a group of policies sharing an observe key.
+
+        ``steps[i]`` is the session step (carrying ``configuration_index``
+        when known) whose execution produced ``results[i]``, exactly what
+        ``policies[i].observe`` would have consumed.  ``group_state`` is
+        the same persistent dict handed to :meth:`fleet_decide` for this
+        group of sessions.
         """
         raise NotImplementedError
 
@@ -117,6 +150,7 @@ class StaticPolicy(DRMPolicy):
         policies: Sequence[DRMPolicy],
         counters: Sequence[Optional[PerformanceCounters]],
         snippets: Sequence[Snippet],
+        group_state: dict,
     ) -> FleetDecisions:
         # The scalar decide neither reads counters nor mutates any state.
         return ([policy.configuration for policy in policies],  # type: ignore[attr-defined]
@@ -194,6 +228,7 @@ class GovernorPolicy(DRMPolicy):
         policies: Sequence[DRMPolicy],
         counters: Sequence[Optional[PerformanceCounters]],
         snippets: Sequence[Snippet],
+        group_state: dict,
     ) -> FleetDecisions:
         """Vectorized governor decisions for one lockstep group.
 

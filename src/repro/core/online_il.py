@@ -20,18 +20,50 @@ cost at a single forward pass.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.control.policy import DRMPolicy
+from repro.control.policy import DRMPolicy, FleetDecisions
 from repro.core.buffer import AggregationBuffer
 from repro.core.offline_il import OfflineILPolicy
 from repro.core.runtime_oracle import RuntimeOracle
-from repro.ml.mlp import MLPClassifier
+from repro.ml.mlp import FleetMLPStack, MLPClassifier
+from repro.ml.rls import RecursiveLeastSquares
+from repro.ml.scaling import StandardScaler
+from repro.models.performance import (
+    CpuPerformanceModel,
+    fleet_update_performance_models,
+)
+from repro.models.power import CpuPowerModel, fleet_update_power_models
 from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
 from repro.soc.counters import PerformanceCounters
 from repro.soc.simulator import SnippetResult
+from repro.soc.snippet import Snippet
+
+
+def _platform_tables_match(platform, space: ConfigurationSpace) -> bool:
+    """True when ``platform`` carries the same OPP values as the space's.
+
+    The fleet-batched model paths build candidate features from the
+    *space's* struct-of-arrays tables while each device's scalar path
+    reads its own model's platform; bitwise equivalence therefore needs
+    the OPP voltage/frequency values (not the objects — isolated devices
+    deep-copy their platforms) to match exactly.
+    """
+    reference = space.platform
+    if platform is reference:
+        return True
+    for name in space.cluster_order:
+        ours = platform.cluster(name)
+        theirs = reference.cluster(name)
+        if len(ours.opps) != len(theirs.opps):
+            return False
+        for opp_a, opp_b in zip(ours.opps, theirs.opps):
+            if (opp_a.voltage_v != opp_b.voltage_v
+                    or opp_a.frequency_hz != opp_b.frequency_hz):
+                return False
+    return True
 
 
 class OnlineILPolicy(DRMPolicy):
@@ -108,6 +140,391 @@ class OnlineILPolicy(DRMPolicy):
     def observe(self, result: SnippetResult) -> None:
         super().observe(result)
         self.runtime_oracle.update_models(result.counters, result.configuration)
+
+    # ------------------------------------------------------------------ #
+    # Fleet batching (cross-device batched learning)
+    # ------------------------------------------------------------------ #
+    def _fleet_models_batchable(self) -> bool:
+        """Shared preconditions of the batched decide and observe paths.
+
+        Exact types only: a subclass overriding any model behaviour must
+        fall back to scalar stepping rather than silently replaying the
+        base arithmetic.  The platform value check makes the space's
+        struct-of-arrays tables bitwise interchangeable with each model's
+        own per-OPP tables.
+        """
+        oracle = self.runtime_oracle
+        if type(oracle) is not RuntimeOracle:
+            return False
+        if oracle.space is not self.space:
+            return False
+        if type(oracle.power_model) is not CpuPowerModel:
+            return False
+        if type(oracle.performance_model) is not CpuPerformanceModel:
+            return False
+        for rls in (oracle.power_model.rls, oracle.performance_model.rls):
+            if type(rls) is not RecursiveLeastSquares or not rls.fit_intercept:
+                return False
+        if set(self.space.cluster_order) != {"big", "little"}:
+            return False
+        if not _platform_tables_match(oracle.power_model.platform, self.space):
+            return False
+        if not _platform_tables_match(
+                oracle.performance_model.platform, self.space):
+            return False
+        return True
+
+    def fleet_decide_key(self) -> Optional[Tuple]:
+        if type(self) is not OnlineILPolicy:
+            return None
+        if not self._fleet_models_batchable():
+            return None
+        oracle = self.runtime_oracle
+        if oracle.mode != "batch":
+            return None
+        classifier = self.offline_policy.classifier
+        if type(classifier) is not MLPClassifier or classifier._core is None:
+            return None
+        if classifier.classes_ is None or not np.array_equal(
+                classifier.classes_, np.arange(len(self.space))):
+            # The batched path treats argmax positions as space indices;
+            # any other class registration must decide scalar.
+            return None
+        scaler = self.offline_policy.scaler
+        if type(scaler) is not StandardScaler or scaler.mean_ is None:
+            return None
+        core = classifier._core
+        return ("OnlineILPolicy", id(self.space), oracle.neighborhood_radius,
+                oracle.metric, tuple(core.layer_sizes), core.activation_name)
+
+    def fleet_observe_key(self) -> Optional[Tuple]:
+        if type(self) is not OnlineILPolicy:
+            return None
+        if not self._fleet_models_batchable():
+            return None
+        return ("OnlineILPolicy-observe", id(self.space))
+
+    @staticmethod
+    def _fleet_adopt(policies: Sequence["OnlineILPolicy"],
+                     state: dict) -> dict:
+        """(Re)build the group's decide-side stacks when membership shifts.
+
+        Adoption deduplicates shared mutable state: two policies sharing
+        any learning object (classifier, core, generator, scaler, buffer,
+        oracle, model, RLS estimator) would interleave their updates in
+        the scalar sequential order, which a batched pass cannot
+        reproduce — those rows are pinned to the scalar fallback.  The
+        remaining rows get one :class:`~repro.ml.mlp.FleetMLPStack` plus
+        stacked scaler statistics.  Cheap identity revalidation runs every
+        step (cores replaced by ``fit()``, scaler statistics rebound by
+        ``partial_fit``); a mismatch triggers full re-adoption.
+        """
+        ids = tuple(id(policy) for policy in policies)
+        if state.get("ids") == ids:
+            fresh = all(
+                policies[row].classifier._core is core
+                for row, core in zip(state["batched_rows"], state["cores"])
+            ) and all(
+                policies[row].offline_policy.scaler.mean_ is mean_ref
+                and policies[row].offline_policy.scaler.var_ is var_ref
+                for row, (mean_ref, var_ref)
+                in zip(state["batched_rows"], state["scaler_refs"])
+            )
+            if fresh:
+                return state
+        owners: Dict[int, set] = {}
+        for row, policy in enumerate(policies):
+            for obj in (
+                policy,
+                policy.offline_policy,
+                policy.classifier,
+                policy.classifier._core,
+                policy.classifier.rng,
+                policy.offline_policy.scaler,
+                policy.buffer,
+                policy.runtime_oracle,
+                policy.runtime_oracle.power_model,
+                policy.runtime_oracle.performance_model,
+                policy.runtime_oracle.power_model.rls,
+                policy.runtime_oracle.performance_model.rls,
+            ):
+                owners.setdefault(id(obj), set()).add(row)
+        scalar_rows = set()
+        for rows in owners.values():
+            if len(rows) > 1:
+                scalar_rows.update(rows)
+        for row, policy in enumerate(policies):
+            if row in scalar_rows:
+                continue
+            classifier = policy.classifier
+            scaler = policy.offline_policy.scaler
+            if (classifier._core is None or classifier.classes_ is None
+                    or not np.array_equal(classifier.classes_,
+                                          np.arange(len(policy.space)))
+                    or scaler.mean_ is None or scaler.var_ is None):
+                scalar_rows.add(row)
+        batched_rows = [row for row in range(len(policies))
+                        if row not in scalar_rows]
+        state["ids"] = ids
+        state["scalar_rows"] = scalar_rows
+        state["batched_rows"] = batched_rows
+        # Rows whose supervision gate has already opened; the gate
+        # (``n_model_updates >= min_model_updates``) is monotone for a
+        # fixed policy object, so membership never needs revisiting until
+        # adoption rebuilds this state.
+        state["supervised_known"] = set()
+        state["stack_row_of"] = {row: k for k, row in enumerate(batched_rows)}
+        if batched_rows:
+            batched = [policies[row] for row in batched_rows]
+            state["stack"] = FleetMLPStack(
+                [policy.classifier for policy in batched])
+            state["cores"] = [policy.classifier._core for policy in batched]
+            state["scaler_refs"] = [
+                (policy.offline_policy.scaler.mean_,
+                 policy.offline_policy.scaler.var_)
+                for policy in batched
+            ]
+            state["mean"] = np.stack(
+                [policy.offline_policy.scaler.mean_ for policy in batched])
+            state["var"] = np.stack(
+                [policy.offline_policy.scaler.var_ for policy in batched])
+            state["eps"] = np.array(
+                [policy.offline_policy.scaler.epsilon for policy in batched])
+            # The scaler statistics are frozen between adoptions (rebinds
+            # trigger re-adoption above), so the per-step denominator
+            # ``sqrt(var + eps)`` is a constant — precompute it once.
+            state["scale_denom"] = np.sqrt(
+                state["var"] + state["eps"][:, None])
+        else:
+            state["stack"] = None
+            state["cores"] = []
+            state["scaler_refs"] = []
+        return state
+
+    @staticmethod
+    def _fleet_update_policies(policies: Sequence["OnlineILPolicy"],
+                               flush_rows: Sequence[int],
+                               state: dict) -> None:
+        """Flush full aggregation buffers, batching same-shape trainings.
+
+        Devices whose buffers filled on the same lockstep step and share
+        every training hyper-parameter (sample count, minibatch size,
+        epochs, learning rate, momentum, l2) train as one stacked
+        :meth:`~repro.ml.mlp.FleetMLPStack.partial_fit_rows` call;
+        singleton groups take the scalar :meth:`_update_policy` unchanged.
+        Training order across devices is irrelevant — adoption guaranteed
+        the classifiers are distinct objects.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for row in flush_rows:
+            policy = policies[row]
+            core = policy.classifier._core
+            key = (len(policy.buffer), policy.classifier.batch_size,
+                   policy.update_epochs, core.learning_rate, core.momentum,
+                   core.l2)
+            groups.setdefault(key, []).append(row)
+        stack = state["stack"]
+        stack_row_of = state["stack_row_of"]
+        for members in groups.values():
+            if len(members) == 1:
+                policies[members[0]]._update_policy()
+                continue
+            datasets: List[np.ndarray] = []
+            encoded: List[np.ndarray] = []
+            for row in members:
+                policy = policies[row]
+                features, labels = policy.buffer.drain()
+                datasets.append(features)
+                encoded.append(policy.classifier._encode(labels))
+                policy.n_policy_updates += 1
+            stack.partial_fit_rows(
+                np.array([stack_row_of[row] for row in members],
+                         dtype=np.intp),
+                datasets, encoded, policies[members[0]].update_epochs,
+            )
+
+    @staticmethod
+    def fleet_decide(
+        policies: Sequence[DRMPolicy],
+        counters: Sequence[Optional[PerformanceCounters]],
+        snippets: Sequence[Snippet],
+        group_state: dict,
+    ) -> FleetDecisions:
+        """Batched online-IL decide for one lockstep group.
+
+        Mirrors the scalar :meth:`decide` per device, fleet-wide: one
+        stacked scaler transform, one fleet-wide runtime-Oracle candidate
+        sweep (:meth:`~repro.core.runtime_oracle.RuntimeOracle
+        .fleet_best_indices`) for the supervision-eligible devices, per
+        device buffer inserts in group order, stacked policy training for
+        simultaneously full buffers, and one stacked classifier forward
+        for the applied decisions.  Rows with no counters yet, rows whose
+        current configuration left the space, and rows pinned scalar by
+        adoption take the scalar :meth:`decide` row-wise.
+        """
+        space = policies[0].space
+        state = OnlineILPolicy._fleet_adopt(policies, group_state)
+        out_configs: List[Optional[SoCConfiguration]] = [None] * len(policies)
+        out_indices: List[Optional[int]] = [None] * len(policies)
+        scalar_rows = state["scalar_rows"]
+        live: List[int] = []
+        live_current: List[int] = []
+        for i, policy in enumerate(policies):
+            if counters[i] is None:
+                # OnlineILPolicy.decide(None) returns self.current as-is.
+                current = policy.current
+                out_configs[i] = current
+                out_indices[i] = space._index.get(current)
+                continue
+            if i in scalar_rows:
+                out_configs[i] = policy.decide(counters[i])
+                out_indices[i] = space._index.get(out_configs[i])
+                continue
+            memo = policy.__dict__.get("_fleet_state")
+            if memo is not None and memo[0] is policy.current:
+                live.append(i)
+                live_current.append(memo[1])
+                continue
+            index = space._index.get(policy.current)
+            if index is None:
+                # Current configuration wandered outside the space (e.g.
+                # a foreign reset): the scalar sweep path handles it.
+                out_configs[i] = policy.decide(counters[i])
+                out_indices[i] = space._index.get(out_configs[i])
+            else:
+                live.append(i)
+                live_current.append(index)
+        if not live:
+            return out_configs, out_indices  # type: ignore[return-value]
+
+        current_rows = np.array(live_current, dtype=np.intp)
+        stack_row_of = state["stack_row_of"]
+        stack_rows = np.array([stack_row_of[i] for i in live], dtype=np.intp)
+        feature_rows = np.stack(
+            [counters[i].feature_vector() for i in live])
+        if len(live) == len(state["batched_rows"]):
+            mean, denom = state["mean"], state["scale_denom"]
+        else:
+            mean = state["mean"][stack_rows]
+            denom = state["scale_denom"][stack_rows]
+        scaled = (feature_rows - mean) / denom
+
+        # Model-guided supervision for devices whose online models have
+        # seen enough data (per-row gate, like the scalar path).  Update
+        # counts only grow, so rows already past the gate skip the
+        # property-chain re-read.
+        known = state["supervised_known"]
+        supervised: List[int] = []
+        for k, i in enumerate(live):
+            if i in known:
+                supervised.append(k)
+                continue
+            policy = policies[i]
+            if (policy.runtime_oracle.n_model_updates  # type: ignore[attr-defined]
+                    >= policy.min_model_updates):  # type: ignore[attr-defined]
+                known.add(i)
+                supervised.append(k)
+        if supervised:
+            oracles = [policies[live[k]].runtime_oracle  # type: ignore[attr-defined]
+                       for k in supervised]
+            labels = RuntimeOracle.fleet_best_indices(
+                oracles,
+                [counters[live[k]] for k in supervised],
+                current_rows[np.array(supervised, dtype=np.intp)],
+            )
+            flush_rows: List[int] = []
+            for k, label in zip(supervised, labels.tolist()):
+                policy = policies[live[k]]
+                policy._last_runtime_label = label  # type: ignore[attr-defined]
+                policy.n_supervision_labels += 1  # type: ignore[attr-defined]
+                if policy.buffer.insert(scaled[k], label):  # type: ignore[attr-defined]
+                    flush_rows.append(live[k])
+            if flush_rows:
+                OnlineILPolicy._fleet_update_policies(
+                    policies, flush_rows, state)
+
+        # The applied decision is each (possibly just updated) policy's
+        # own prediction; classes_ == arange(len(space)) (adoption
+        # invariant), so the argmax position IS the space index.
+        encoded = state["stack"].predict_encoded(stack_rows, scaled)
+        configs = space._configs
+        last_index = len(space) - 1
+        for k, i in enumerate(live):
+            policy = policies[i]
+            predicted = int(encoded[k])
+            predicted = max(0, min(last_index, predicted))
+            config = configs[predicted]
+            policy.current = config
+            policy._fleet_state = (config, predicted)  # type: ignore[attr-defined]
+            out_configs[i] = config
+            out_indices[i] = predicted
+        return out_configs, out_indices  # type: ignore[return-value]
+
+    @staticmethod
+    def fleet_observe(
+        policies: Sequence[DRMPolicy],
+        steps: Sequence[object],
+        results: Sequence[SnippetResult],
+        group_state: dict,
+    ) -> None:
+        """Batched online-IL observe: stacked power/performance updates.
+
+        Each device's scalar :meth:`observe` is two rank-1 RLS updates at
+        the executed configuration; the fleet collapses them into one
+        :func:`~repro.models.power.fleet_update_power_models` plus one
+        :func:`~repro.models.performance.fleet_update_performance_models`
+        call over the devices' struct-of-arrays configuration rows.  Rows
+        pinned scalar by adoption (shared model state) or lacking a
+        configuration index observe scalar, row-wise.
+        """
+        space = policies[0].space
+        ids = tuple(id(policy) for policy in policies)
+        if group_state.get("observe_ids") != ids:
+            owners: Dict[int, set] = {}
+            for row, policy in enumerate(policies):
+                for obj in (
+                    policy,
+                    policy.runtime_oracle,  # type: ignore[attr-defined]
+                    policy.runtime_oracle.power_model,  # type: ignore[attr-defined]
+                    policy.runtime_oracle.performance_model,  # type: ignore[attr-defined]
+                    policy.runtime_oracle.power_model.rls,  # type: ignore[attr-defined]
+                    policy.runtime_oracle.performance_model.rls,  # type: ignore[attr-defined]
+                ):
+                    owners.setdefault(id(obj), set()).add(row)
+            scalar_rows = set()
+            for rows in owners.values():
+                if len(rows) > 1:
+                    scalar_rows.update(rows)
+            group_state["observe_ids"] = ids
+            group_state["observe_scalar_rows"] = scalar_rows
+        scalar_rows = group_state["observe_scalar_rows"]
+        live: List[int] = []
+        live_indices: List[int] = []
+        for i, policy in enumerate(policies):
+            index = getattr(steps[i], "configuration_index", None)
+            if i in scalar_rows or index is None:
+                policy.observe(results[i])
+                continue
+            config = results[i].configuration
+            policy.current = config
+            policy._fleet_state = (config, index)  # type: ignore[attr-defined]
+            live.append(i)
+            live_indices.append(index)
+        if not live:
+            return
+        candidates = space.soa_view().gather(
+            np.array(live_indices, dtype=np.intp))
+        counters_list = [results[i].counters for i in live]
+        fleet_update_power_models(
+            [policies[i].runtime_oracle.power_model  # type: ignore[attr-defined]
+             for i in live],
+            counters_list, candidates,
+            rls_state=group_state.setdefault("power_rls_state", {}))
+        fleet_update_performance_models(
+            [policies[i].runtime_oracle.performance_model  # type: ignore[attr-defined]
+             for i in live],
+            counters_list, candidates,
+            rls_state=group_state.setdefault("perf_rls_state", {}))
 
     # ------------------------------------------------------------------ #
     def diagnostics(self) -> Dict[str, float]:

@@ -25,7 +25,7 @@ with the same first-minimum tie-breaking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -191,6 +191,137 @@ class RuntimeOracle:
             key = lambda est: est.predicted_edp  # noqa: E731
         best = min(estimates, key=key)
         return best.configuration, best
+
+    @staticmethod
+    def fleet_best_indices(
+        oracles: Sequence["RuntimeOracle"],
+        counters_list: Sequence[PerformanceCounters],
+        current_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Fleet-wide candidate sweep: one best index per device.
+
+        Stacks every device's neighbourhood sweep into padded
+        ``(devices, max_candidates)`` tensors — candidate rows come from
+        the space's memoised :meth:`~repro.soc.configuration
+        .ConfigurationSpace.neighborhood_table`, candidate columns from
+        its struct-of-arrays view — and computes all power/time
+        predictions with the scalar batch path's arithmetic: the power
+        prediction is one stacked matmul against the per-device RLS
+        weights (per-slice BLAS — bitwise equal to each device's gemv)
+        and the time prediction is pure elementwise broadcasting in
+        :meth:`~repro.models.performance.CpuPerformanceModel
+        .predict_time_s_batch`'s operation order.  Padding is masked to
+        ``+inf`` before the segmented argmin
+        (:func:`~repro.fleet.kernels.masked_first_argmin`), preserving
+        the scalar first-minimum tie-break.  Returns each device's best
+        configuration index in its space, bitwise identical to per-device
+        :meth:`best_configuration` calls.
+
+        Preconditions (the fleet adoption check guarantees them): every
+        oracle shares the same space object, radius and metric, uses
+        ``mode="batch"`` semantics with plain
+        :class:`~repro.ml.rls.RecursiveLeastSquares` models
+        (``fit_intercept=True``), and every model platform carries the
+        same OPP values as the space's platform.  ``current_indices[d]``
+        must be device ``d``'s current configuration index (so
+        ``space.contains(current)`` holds for every device).
+        """
+        # Imported here (not at module scope) because the fleet package
+        # init pulls in scenario/session modules that import this one.
+        from repro.fleet.kernels import masked_first_argmin
+
+        first = oracles[0]
+        space = first.space
+        table, lengths = space.neighborhood_table(
+            radius=first.neighborhood_radius, include_self=True
+        )
+        current = np.asarray(current_indices, dtype=np.intp)
+        candidates = table[current]
+        valid = (np.arange(candidates.shape[1])[None, :]
+                 < lengths[current][:, None])
+
+        soa = space.soa_view()
+        big = soa.cluster("big")
+        little = soa.cluster("little")
+        big_opp = big.opp_index[candidates]
+        little_opp = little.opp_index[candidates]
+        big_cores = big.cores_f[candidates]
+        little_cores = little.cores_f[candidates]
+        big_ref_cores = big.cores_f[current]
+        little_ref_cores = little.cores_f[current]
+
+        util_big = np.array(
+            [c.big_cluster_utilization for c in counters_list])
+        util_little = np.array(
+            [c.little_cluster_utilization for c in counters_list])
+        exec_time = np.array([c.execution_time_s for c in counters_list])
+        l2_misses = np.array([c.l2_cache_misses for c in counters_list])
+        external = np.array(
+            [c.noncache_external_memory_requests for c in counters_list])
+
+        # --- power features (PowerModelFeatures.build_batch, reference =
+        # the device's current configuration) -------------------------- #
+        features_map = first.power_model.features
+        time_clamped = np.maximum(exec_time, 1e-9)
+        external_rate_per_us = external / time_clamped / 1e6
+        big_busy = np.minimum((util_big * big_ref_cores)[:, None], big_cores)
+        little_busy = np.minimum(
+            (util_little * little_ref_cores)[:, None], little_cores)
+        n_devices, max_candidates = candidates.shape
+        features = np.empty((n_devices, max_candidates,
+                             len(features_map.FEATURE_NAMES)))
+        features[:, :, 0] = features_map._v2f_over_1e9("big")[big_opp] * big_busy
+        features[:, :, 1] = (
+            features_map._v2f_over_1e9("little")[little_opp] * little_busy
+        )
+        features[:, :, 2] = big.voltage_v[candidates] * big_cores
+        features[:, :, 3] = little.voltage_v[candidates] * little_cores
+        features[:, :, 4] = external_rate_per_us[:, None]
+        power_weights = np.stack(
+            [oracle.power_model.rls.weights for oracle in oracles])
+        power = np.maximum(
+            0.0,
+            np.matmul(features, power_weights[:, :-1, None])[:, :, 0]
+            + power_weights[:, -1][:, None],
+        )
+
+        # --- time prediction (CpuPerformanceModel.predict_time_s_batch,
+        # per-device scalars broadcast as (devices, 1) columns) --------- #
+        perf_weights = np.stack(
+            [oracle.performance_model.rls.weights for oracle in oracles])
+        latency_ns = np.maximum(perf_weights[:, 0], 0.0)
+        ref_big_freq = big.frequency_ghz[current]
+        cand_big_freq = big.frequency_ghz[candidates]
+        big_busy_core_seconds = util_big * big_ref_cores * exec_time
+        big_cycles_ref = big_busy_core_seconds * ref_big_freq * 1e9
+        delta_freq = cand_big_freq - ref_big_freq[:, None]
+        latency_misses = latency_ns * l2_misses
+        big_cycles_cand = np.maximum(
+            big_cycles_ref[:, None] + latency_misses[:, None] * delta_freq,
+            0.1 * big_cycles_ref[:, None],
+        )
+        big_busy_eff = np.maximum(util_big * big_ref_cores, 1e-3)
+        effective = np.maximum(
+            0.25, np.minimum(big_busy_eff[:, None], big_cores))
+        big_time = big_cycles_cand / (cand_big_freq * 1e9 * effective)
+
+        ref_little_freq = little.frequency_ghz[current]
+        little_busy_core_seconds = util_little * little_ref_cores * exec_time
+        little_cycles = little_busy_core_seconds * ref_little_freq * 1e9
+        little_busy_cores = np.maximum(util_little * little_ref_cores, 1e-3)
+        little_eff = np.minimum(little_busy_cores[:, None], little_cores)
+        cand_little_freq = little.frequency_ghz[candidates]
+        little_time = little_cycles[:, None] / (
+            cand_little_freq * 1e9 * np.maximum(little_eff, 0.25)
+        )
+
+        time_s = np.maximum(np.maximum(big_time, little_time), 1e-9)
+
+        cost = power * time_s
+        if first.metric == "edp":
+            cost = cost * time_s
+        best_positions = masked_first_argmin(cost, valid)
+        return candidates[np.arange(n_devices), best_positions]
 
     def update_models(self, counters: PerformanceCounters,
                       config: SoCConfiguration) -> Dict[str, float]:

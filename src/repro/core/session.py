@@ -231,12 +231,16 @@ class PolicySession:
             self._opp_columns = columns
         return columns[0][index], columns[1][index]
 
-    def observe(self, step: SessionStep, result: SnippetResult) -> None:
+    def observe(self, step: SessionStep, result: SnippetResult,
+                policy_observed: bool = False) -> None:
         """Phase 4: feed the outcome back and append the log record.
 
         The statement order matches the original loop exactly: policy
         feedback, counters update, accounting, then the log record (with
-        the Oracle columns when a table is installed).
+        the Oracle columns when a table is installed).  A fleet driver
+        that already delivered the policy feedback through a batched
+        ``fleet_observe`` passes ``policy_observed=True`` to skip the
+        scalar ``policy.observe`` call (everything else is unchanged).
         """
         if step is not self._pending:
             if self._pending is None:
@@ -244,7 +248,8 @@ class PolicySession:
                     "no pending step to observe; call decide() first"
                 )
             raise ValueError("observed step is not the session's pending step")
-        self.policy.observe(result)
+        if not policy_observed:
+            self.policy.observe(result)
         self.counters = result.counters
         self.account.add(result)
         self.results.append(result)

@@ -67,8 +67,23 @@ class FleetStudy:
     total_steps: int
     batched_execution_fraction: float
     batched_decision_fraction: float
+    batched_observe_fraction: float = 0.0
     devices: List[FleetDeviceReport] = field(default_factory=list)
     aggregates: Dict[str, float] = field(default_factory=dict)
+
+    def seed_run_metadata(self) -> Dict[str, float]:
+        """Batching hit rates for the runner's per-seed metadata.
+
+        Surfaced next to the Oracle cache counters in
+        ``SeedRun.metadata``: what fraction of the fleet's session-steps
+        went through the batched decide/execute/observe paths versus the
+        per-session scalar fallbacks.
+        """
+        return {
+            "fleet_batched_decide_fraction": self.batched_decision_fraction,
+            "fleet_batched_execute_fraction": self.batched_execution_fraction,
+            "fleet_batched_observe_fraction": self.batched_observe_fraction,
+        }
 
 
 def _fleet_aggregates(reports: Sequence[FleetDeviceReport]) -> Dict[str, float]:
@@ -174,6 +189,9 @@ def run_fleet(
         ),
         batched_decision_fraction=(
             engine.batched_decisions / total_steps if total_steps else 0.0
+        ),
+        batched_observe_fraction=(
+            engine.batched_observes / total_steps if total_steps else 0.0
         ),
         devices=reports,
         aggregates=_fleet_aggregates(reports),

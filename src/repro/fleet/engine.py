@@ -32,10 +32,19 @@ engine exploits that freedom on two phases:
   Sessions with exotic simulators (or shared/missing generators) fall
   back to scalar :meth:`~repro.core.session.PolicySession.execute`.
 
-The **observe** phase is always per-session (it feeds policy-specific
-learning state and the per-device logs), which is also what lets
-non-batchable learning policies (online-IL) ride in the same fleet: their
-decisions stay scalar, their executions still batch.
+* **observe** — policies advertising a shared
+  :meth:`~repro.control.policy.DRMPolicy.fleet_observe_key` (online-IL:
+  its per-device observe is two rank-1 RLS model updates) have their
+  feedback delivered by one batched
+  :meth:`~repro.control.policy.DRMPolicy.fleet_observe` call before the
+  per-session bookkeeping (:meth:`~repro.core.session.PolicySession
+  .observe` with ``policy_observed=True``: counters, accounting, log
+  record) runs unchanged.  Everyone else observes scalar, which is what
+  lets arbitrary learning policies ride in the same fleet.
+
+Sessions under a scenario schedule batch too: the engine mirrors the
+session's clamp/throttle phase on the batched decisions before installing
+the pending step, so restricted-space windows stay bitwise faithful.
 
 Once :meth:`run` (or :meth:`prepare`) has adopted a session for batched
 execution, its noise stream has been pre-drawn — keep driving it through
@@ -120,21 +129,36 @@ class _DecideGroup:
 
     ``active_members``/``active_policies`` cache the not-yet-finished
     subset; the engine refreshes them only when some session completes,
-    so steady-state steps skip the per-step filtering entirely.
+    so steady-state steps skip the per-step filtering entirely.  ``state``
+    is the group's persistent scratch dict, handed to every
+    ``fleet_decide`` call so stateful policies (online-IL) can memoise
+    their adopted cross-device stacks across steps.
     """
 
-    __slots__ = ("sessions", "active_members", "active_policies")
+    __slots__ = ("sessions", "active_members", "active_policies", "state")
 
     def __init__(self, sessions: List[PolicySession]) -> None:
         self.sessions = sessions
         self.active_members: List[PolicySession] = []
         self.active_policies: List = []
+        self.state: Dict = {}
 
     def refresh(self) -> None:
         self.active_members = [session for session in self.sessions
                                if session._cursor < session._trace_len]
         self.active_policies = [session.policy
                                 for session in self.active_members]
+
+
+class _ObserveGroup(_DecideGroup):
+    """Sessions whose policies share one batched-observe key.
+
+    Same caching/refresh structure as :class:`_DecideGroup` (the keys are
+    computed independently, so decide and observe groups may partition the
+    fleet differently); ``state`` persists across ``fleet_observe`` calls.
+    """
+
+    __slots__ = ()
 
 
 class FleetEngine:
@@ -145,20 +169,24 @@ class FleetEngine:
         sessions: Sequence[PolicySession],
         batch_decide: bool = True,
         batch_execute: bool = True,
+        batch_observe: bool = True,
     ) -> None:
         self.sessions: List[PolicySession] = list(sessions)
         if not self.sessions:
             raise ValueError("FleetEngine needs at least one session")
         self.batch_decide = bool(batch_decide)
         self.batch_execute = bool(batch_execute)
+        self.batch_observe = bool(batch_observe)
         self.steps_executed = 0
         self.batched_executions = 0
         self.batched_decisions = 0
+        self.batched_observes = 0
         self._prepared = False
         self._scalar_decide: List[PolicySession] = []
         self._decide_groups: List[_DecideGroup] = []
         self._exec_groups: List[_ExecGroup] = []
         self._scalar_execute: List[PolicySession] = []
+        self._observe_groups: List[_ObserveGroup] = []
         self._active: List[PolicySession] = []
         self._active_dirty = True
 
@@ -169,17 +197,23 @@ class FleetEngine:
         """Batched-decide group key of ``session`` (None = scalar fallback).
 
         Batching a decide requires the policy to reason over exactly the
-        session's space with no scenario schedule in force — otherwise the
-        clamp/throttle phase (which the batched path skips) could alter
-        the executed configuration.
+        session's space; a scenario schedule is fine — the engine mirrors
+        the session's clamp/throttle phase on the batched decisions before
+        installing each pending step.
         """
         if not self.batch_decide:
-            return None
-        if session.space_schedule is not None:
             return None
         if session.policy.space is not session.space:
             return None
         return session.policy.fleet_decide_key()
+
+    def _session_observe_key(self, session: PolicySession) -> Optional[Tuple]:
+        """Batched-observe group key of ``session`` (None = scalar observe)."""
+        if not self.batch_observe:
+            return None
+        if session.policy.space is not session.space:
+            return None
+        return session.policy.fleet_observe_key()
 
     def _execute_batchable(self, session: PolicySession,
                            rng_users: Counter) -> bool:
@@ -217,6 +251,7 @@ class FleetEngine:
         )
         decide_groups: Dict[Tuple, List[PolicySession]] = {}
         exec_groups: Dict[int, List[PolicySession]] = {}
+        observe_groups: Dict[Tuple, List[PolicySession]] = {}
         for session in self.sessions:
             key = self._session_decide_key(session)
             if key is None:
@@ -227,12 +262,19 @@ class FleetEngine:
                 exec_groups.setdefault(id(session.simulator), []).append(session)
             else:
                 self._scalar_execute.append(session)
+            observe_key = self._session_observe_key(session)
+            if observe_key is not None:
+                observe_groups.setdefault(observe_key, []).append(session)
         self._decide_groups = [
             _DecideGroup(members) for members in decide_groups.values()
         ]
         self._exec_groups = [
             _ExecGroup(members[0].simulator, members)
             for members in exec_groups.values()
+        ]
+        self._observe_groups = [
+            _ObserveGroup(members) for members in observe_groups.values()
+            if len(members) >= 2
         ]
         self._prepared = True
 
@@ -279,6 +321,8 @@ class FleetEngine:
             decide_group.refresh()
         for exec_group in self._exec_groups:
             exec_group.refresh()
+        for observe_group in self._observe_groups:
+            observe_group.refresh()
 
     def _decide_phase(self) -> None:
         """Install a pending :class:`SessionStep` on every active session."""
@@ -305,39 +349,77 @@ class FleetEngine:
                     )
                 snippets.append(session.snippets[session._cursor])
             configs, indices = type(policies[0]).fleet_decide(
-                policies, counters, snippets
+                policies, counters, snippets, group.state
             )
-            for session, snippet, config, index in zip(
+            for session, snippet, proposed, index in zip(
                     members, snippets, configs, indices):
                 # Fast-path construction of the step the session's own
                 # decide() would have produced; installing it directly is
                 # adopt_step() minus the cursor-alignment check the
                 # lockstep loop guarantees by construction (the pending
-                # check ran above).
+                # check ran above).  The clamp/throttle mirror below is
+                # session.decide()'s, statement for statement.
+                config = proposed
+                throttled = False
+                if session.space_schedule is not None:
+                    active_space = session.space_schedule(session._cursor)
+                    throttled = active_space is not session.space
+                    if throttled and not active_space.contains(config):
+                        config = active_space.clamp(config)
+                        index = session.space._index.get(config)
                 session._pending = step_from_values({
                     "index": session._cursor,
                     "snippet": snippet,
-                    "proposed": config,
+                    "proposed": proposed,
                     "configuration": config,
-                    "throttled": False,
+                    "throttled": throttled,
                     "configuration_index": index,
                 })
             self.batched_decisions += len(members)
 
     def _execute_and_observe_phase(self) -> None:
-        """Execute every pending step and feed the outcomes back."""
+        """Execute every pending step and feed the outcomes back.
+
+        Execution results are collected first (batched kernel groups plus
+        scalar stragglers), then observe groups deliver their policies'
+        feedback through one ``fleet_observe`` call each before the
+        per-session bookkeeping observe runs; everyone else observes
+        scalar.  Sessions share no mutable state, so the regrouping cannot
+        change any value relative to the sequential order.
+        """
+        results_of: Dict[int, SnippetResult] = {}
         for group in self._exec_groups:
             members = group.active_members
             if not members:
                 continue
             results = self._execute_group(group, members)
             for session, result in zip(members, results):
-                session.observe(session._pending, result)
+                results_of[id(session)] = result
             self.batched_executions += len(members)
         for session in self._scalar_execute:
+            if session._pending is not None:
+                results_of[id(session)] = session.execute(session._pending)
+        batch_observed = set()
+        for group in self._observe_groups:
+            members = group.active_members
+            if len(members) < 2:
+                continue
+            steps = [session._pending for session in members]
+            results = [results_of[id(session)] for session in members]
+            policies = group.active_policies
+            type(policies[0]).fleet_observe(
+                policies, steps, results, group.state
+            )
+            for session, step, result in zip(members, steps, results):
+                session.observe(step, result, policy_observed=True)
+            self.batched_observes += len(members)
+            batch_observed.update(id(session) for session in members)
+        for session in self._active:
+            if id(session) in batch_observed:
+                continue
             step = session._pending
             if step is not None:
-                session.observe(step, session.execute(step))
+                session.observe(step, results_of[id(session)])
 
     def _execute_group(
         self,

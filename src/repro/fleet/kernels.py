@@ -82,6 +82,22 @@ class TraceArrays:
         return len(self.snippets)
 
 
+def masked_first_argmin(costs: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Row-wise argmin over the valid prefix of padded cost rows.
+
+    ``costs`` is a ``(devices, max_candidates)`` matrix whose rows are
+    ragged candidate sweeps padded to a common width; ``valid`` is the
+    boolean mask of real entries.  Padding is replaced by ``+inf`` so it
+    can never win, and ``np.argmin`` over each full row then returns the
+    *first* minimum among the valid entries — exactly the scalar sweep's
+    first-minimum tie-breaking (``np.argmin`` over the unpadded row, or
+    ``min`` over an estimate list).  This is the segmented-argmin step of
+    the fleet-wide candidate sweep.
+    """
+    masked = np.where(valid, costs, np.inf)
+    return np.argmin(masked, axis=1)
+
+
 def lockstep_execute(
     simulator: SoCSimulator,
     snippets: Sequence[Snippet],

@@ -127,6 +127,354 @@ class _MLPCore:
         return int(sum(w.size + b.size for w, b in zip(self.weights, self.biases)))
 
 
+class _FitScratch:
+    """Preallocated per-(group size, minibatch size) training buffers.
+
+    One fleet fit round runs ``epochs`` iterations over identically shaped
+    minibatches; every intermediate (pre-activations, activations, softmax,
+    one-hot targets, per-layer gradients and the flattened gradient /
+    update temporaries) is written into these reusable arrays with
+    ``out=``, so the hot loop performs no heap allocation beyond the
+    per-minibatch sample gather.
+    """
+
+    __slots__ = ("z", "act", "grad", "maxb", "sumb", "probs", "onehot",
+                 "grad_w", "grad_b", "tmp_w", "tmp_b", "gw3", "gb2",
+                 "m_range")
+
+    def __init__(self, n_group: int, m: int, sizes: Sequence[int],
+                 w_segments: Sequence[Tuple[int, int]],
+                 b_segments: Sequence[Tuple[int, int]],
+                 n_w: int, n_b: int) -> None:
+        shapes = list(zip(sizes[:-1], sizes[1:]))
+        n_classes = sizes[-1]
+        self.z = [np.empty((n_group, m, fo)) for _, fo in shapes]
+        self.act = [np.empty((n_group, m, fo)) for _, fo in shapes[:-1]]
+        self.grad = [np.empty((n_group, m, fo)) for _, fo in shapes[:-1]]
+        self.maxb = np.empty((n_group, m))
+        self.sumb = np.empty((n_group, m, 1))
+        self.probs = np.empty((n_group, m, n_classes))
+        self.onehot = np.empty((n_group, m, n_classes))
+        self.grad_w = np.empty((n_group, n_w))
+        self.grad_b = np.empty((n_group, n_b))
+        self.tmp_w = np.empty((n_group, n_w))
+        self.tmp_b = np.empty((n_group, n_b))
+        self.gw3 = [self.grad_w[:, a:b].reshape(n_group, fi, fo)
+                    for (a, b), (fi, fo) in zip(w_segments, shapes)]
+        self.gb2 = [self.grad_b[:, a:b] for a, b in b_segments]
+        self.m_range = np.arange(m)[None, :]
+
+
+class FleetMLPStack:
+    """Cross-device stacked parameters for same-architecture MLP classifiers.
+
+    The online-IL fleet path adopts every device's classifier once: all
+    layers' weights (and biases, and momentum velocities) are packed into
+    one persistent flat ``(devices, total_params)`` tensor, and each
+    per-layer ``(devices, fan_in, fan_out)`` stack in :attr:`weights` /
+    :attr:`biases` is a strided *view* of that flat storage.  The
+    classifier's own arrays are re-pointed at the per-device view rows.
+    Because the scalar SGD step mutates weights and biases **in place**
+    (``+=``), scalar fallbacks and direct ``partial_fit`` calls keep
+    writing through the stack, so batched forwards read fresh parameters
+    without per-step re-stacking.  Momentum velocities are *rebound* (not
+    mutated) by the scalar step, so each batched fit revalidates per-row
+    velocity identity and re-syncs only rows a scalar step detached.
+
+    The flat layout lets the SGD parameter update run as six whole-network
+    array passes instead of six passes per layer, and every batched
+    operation mirrors the scalar :class:`_MLPCore` statement order with
+    stacked ``np.matmul`` (per-slice BLAS dispatch — bitwise equal per
+    device, unlike einsum), broadcast bias adds and axis-1 reductions, so
+    a lockstep fleet stays bitwise identical to independent sequential
+    devices.
+    """
+
+    def __init__(self, classifiers: Sequence["MLPClassifier"]) -> None:
+        cores: List[_MLPCore] = []
+        for classifier in classifiers:
+            core = classifier._core
+            if core is None:
+                raise ValueError(
+                    "every classifier must be initialised (fit or "
+                    "ensure_classes) before fleet adoption"
+                )
+            cores.append(core)
+        first = cores[0]
+        for core in cores[1:]:
+            if (core.layer_sizes != first.layer_sizes
+                    or core.activation_name != first.activation_name):
+                raise ValueError(
+                    "fleet MLP stack requires one shared architecture"
+                )
+        if len({id(core) for core in cores}) != len(cores):
+            raise ValueError(
+                "fleet MLP stack requires distinct classifier instances"
+            )
+        self.classifiers = list(classifiers)
+        self.cores = cores
+        self.n_layers = len(first.weights)
+        self.n_devices = len(cores)
+        self.activation = first.activation
+        self.activation_grad = first.activation_grad
+        self._relu = first.activation_name == "relu"
+        self._sizes = list(first.layer_sizes)
+        shapes = list(zip(self._sizes[:-1], self._sizes[1:]))
+        self._w_segments: List[Tuple[int, int]] = []
+        self._b_segments: List[Tuple[int, int]] = []
+        w_off = b_off = 0
+        for fan_in, fan_out in shapes:
+            self._w_segments.append((w_off, w_off + fan_in * fan_out))
+            self._b_segments.append((b_off, b_off + fan_out))
+            w_off += fan_in * fan_out
+            b_off += fan_out
+        self._n_w = w_off
+        self._n_b = b_off
+        n = self.n_devices
+        self.flat_weights = np.empty((n, self._n_w))
+        self.flat_biases = np.empty((n, self._n_b))
+        self._flat_w_vel = np.empty((n, self._n_w))
+        self._flat_b_vel = np.empty((n, self._n_b))
+        self.weights: List[np.ndarray] = [
+            self.flat_weights[:, a:b].reshape(n, fi, fo)
+            for (a, b), (fi, fo) in zip(self._w_segments, shapes)
+        ]
+        self.biases: List[np.ndarray] = [
+            self.flat_biases[:, a:b] for a, b in self._b_segments
+        ]
+        w_vel_views = [
+            self._flat_w_vel[:, a:b].reshape(n, fi, fo)
+            for (a, b), (fi, fo) in zip(self._w_segments, shapes)
+        ]
+        b_vel_views = [
+            self._flat_b_vel[:, a:b] for a, b in self._b_segments
+        ]
+        # Per-row view objects are stored so velocity re-syncs can compare
+        # by identity (a fresh ``view[row]`` would never be ``is``-equal).
+        self._w_vel_rows: List[List[np.ndarray]] = []
+        self._b_vel_rows: List[List[np.ndarray]] = []
+        for row, core in enumerate(cores):
+            w_row = [w_vel_views[layer][row] for layer in range(self.n_layers)]
+            b_row = [b_vel_views[layer][row] for layer in range(self.n_layers)]
+            self._w_vel_rows.append(w_row)
+            self._b_vel_rows.append(b_row)
+            for layer in range(self.n_layers):
+                self.weights[layer][row] = core.weights[layer]
+                self.biases[layer][row] = core.biases[layer]
+                w_row[layer][...] = core._w_vel[layer]
+                b_row[layer][...] = core._b_vel[layer]
+                core.weights[layer] = self.weights[layer][row]
+                core.biases[layer] = self.biases[layer][row]
+                core._w_vel[layer] = w_row[layer]
+                core._b_vel[layer] = b_row[layer]
+        self._scratch: dict = {}
+        self._arange = np.arange(n)
+
+    def _is_full(self, rows: np.ndarray) -> bool:
+        return (len(rows) == self.n_devices
+                and bool((rows == self._arange).all()))
+
+    def _layer_views(self, flat_w: np.ndarray, flat_b: np.ndarray
+                     ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        n_group = flat_w.shape[0]
+        shapes = list(zip(self._sizes[:-1], self._sizes[1:]))
+        w3 = [flat_w[:, a:b].reshape(n_group, fi, fo)
+              for (a, b), (fi, fo) in zip(self._w_segments, shapes)]
+        b2 = [flat_b[:, a:b] for a, b in self._b_segments]
+        return w3, b2
+
+    def _sync_velocities(self, rows: np.ndarray,
+                         cores: Sequence[_MLPCore]) -> None:
+        """Re-attach velocities any scalar step rebound since the last fit."""
+        for i, core in enumerate(cores):
+            w_row = self._w_vel_rows[rows[i]]
+            b_row = self._b_vel_rows[rows[i]]
+            for layer in range(self.n_layers):
+                if core._w_vel[layer] is not w_row[layer]:
+                    w_row[layer][...] = core._w_vel[layer]
+                    core._w_vel[layer] = w_row[layer]
+                if core._b_vel[layer] is not b_row[layer]:
+                    b_row[layer][...] = core._b_vel[layer]
+                    core._b_vel[layer] = b_row[layer]
+
+    def predict_encoded(self, rows: np.ndarray,
+                        features: np.ndarray) -> np.ndarray:
+        """Argmax class *positions* for one feature row per device.
+
+        ``features[i]`` is what device ``rows[i]``'s scalar
+        ``classifier.predict`` would have received (one sample); the
+        stacked forward, row-wise softmax and row-wise argmax reproduce
+        each device's scalar prediction exactly (first maximum wins on
+        exact ties, like ``np.argmax`` over the single scalar row).  The
+        caller maps positions through each classifier's ``classes_``.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        if self._is_full(rows):
+            w3, b2 = self.weights, self.biases
+        else:
+            w3, b2 = self._layer_views(self.flat_weights[rows],
+                                       self.flat_biases[rows])
+        current = features[:, None, :]
+        last = self.n_layers - 1
+        for layer in range(self.n_layers):
+            z = np.matmul(current, w3[layer]) + b2[layer][:, None, :]
+            current = self.activation(z) if layer < last else z
+        probs = softmax(current[:, 0, :])
+        return np.argmax(probs, axis=1)
+
+    def partial_fit_rows(self, rows: np.ndarray,
+                         datasets: Sequence[np.ndarray],
+                         encoded: Sequence[np.ndarray],
+                         epochs: int) -> None:
+        """Batched ``partial_fit`` over a subset of devices (bitwise-equal).
+
+        ``datasets[i]``/``encoded[i]`` are device ``rows[i]``'s training
+        matrix (equal sample counts across the subset) and label positions
+        in its ``classes_``.  Hyper-parameters (learning rate, momentum,
+        l2, batch size) must match across the subset — the caller groups
+        by them.  Per-device shuffle orders are pre-drawn from each
+        classifier's own generator in epoch order (exactly the scalar draw
+        order), then every minibatch runs as stacked matmuls over
+        ``(devices, batch, features)`` tensors, writing every intermediate
+        into preallocated scratch and applying the SGD step as six
+        in-place passes over the flat parameter tensors (bitwise equal to
+        the scalar per-layer statements, which are element-independent).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        classifiers = [self.classifiers[row] for row in rows]
+        cores = [self.cores[row] for row in rows]
+        n_samples = datasets[0].shape[0]
+        batch_size = classifiers[0].batch_size
+        learning_rate = cores[0].learning_rate
+        momentum = cores[0].momentum
+        l2 = cores[0].l2
+        epochs = max(1, int(epochs))
+        self._sync_velocities(rows, cores)
+        # Device-major pre-draw: device i consumes its own generator's
+        # permutations in epoch order, exactly like its scalar run.
+        n_group = len(cores)
+        perm_all = np.empty((n_group, epochs, n_samples), dtype=np.intp)
+        for i, classifier in enumerate(classifiers):
+            rng = classifier.rng
+            for epoch in range(epochs):
+                perm_all[i, epoch] = rng.permutation(n_samples)
+        data = np.stack(datasets)
+        labels = np.stack(encoded)
+        full = self._is_full(rows)
+        if full:
+            flat_w, flat_b = self.flat_weights, self.flat_biases
+            vel_w, vel_b = self._flat_w_vel, self._flat_b_vel
+            w3, b2 = self.weights, self.biases
+        else:
+            flat_w = self.flat_weights[rows]
+            flat_b = self.flat_biases[rows]
+            vel_w = self._flat_w_vel[rows]
+            vel_b = self._flat_b_vel[rows]
+            w3, b2 = self._layer_views(flat_w, flat_b)
+        n_layers = self.n_layers
+        last = n_layers - 1
+        relu_head = self._relu
+        device_rows = np.arange(n_group)[:, None]
+        for epoch in range(epochs):
+            for start in range(0, n_samples, batch_size):
+                idx = perm_all[:, epoch, start:start + batch_size]
+                m = idx.shape[1]
+                buf = self._scratch.get((n_group, m))
+                if buf is None:
+                    buf = _FitScratch(n_group, m, self._sizes,
+                                      self._w_segments, self._b_segments,
+                                      self._n_w, self._n_b)
+                    self._scratch[(n_group, m)] = buf
+                batch = data[device_rows, idx]
+                # Forward: buf.z[layer] holds the pre-activation, buf.act
+                # the hidden post-activation (post[0] is the batch itself).
+                post = batch
+                for layer in range(n_layers):
+                    z = buf.z[layer]
+                    np.matmul(post, w3[layer], out=z)
+                    np.add(z, b2[layer][:, None, :], out=z)
+                    if layer < last:
+                        if relu_head:
+                            np.maximum(z, 0.0, out=buf.act[layer])
+                        else:
+                            buf.act[layer][...] = self.activation(z)
+                        post = buf.act[layer]
+                    else:
+                        post = z
+                # Softmax + cross-entropy gradient (probs - onehot), all
+                # written into buf.probs (the scalar statement order of
+                # ``softmax``: shift by rowwise max, exp, divide by sum).
+                logits = buf.z[last]
+                logits.max(axis=2, out=buf.maxb)
+                np.subtract(logits, buf.maxb[:, :, None], out=buf.probs)
+                np.exp(buf.probs, out=buf.probs)
+                buf.probs.sum(axis=2, keepdims=True, out=buf.sumb)
+                np.divide(buf.probs, buf.sumb, out=buf.probs)
+                buf.onehot.fill(0.0)
+                buf.onehot[device_rows, buf.m_range,
+                           labels[device_rows, idx]] = 1.0
+                np.subtract(buf.probs, buf.onehot, out=buf.probs)
+                # Backward: weight/bias gradients land directly in the
+                # flat gradient tensors through per-layer strided views.
+                grad = buf.probs
+                for layer in reversed(range(n_layers)):
+                    post = batch if layer == 0 else buf.act[layer - 1]
+                    np.matmul(post.transpose(0, 2, 1), grad,
+                              out=buf.gw3[layer])
+                    # ``mean`` is computed as sum then true_divide; doing
+                    # the divide flat below is the same arithmetic.
+                    grad.sum(axis=1, out=buf.gb2[layer])
+                    if layer > 0:
+                        nxt = buf.grad[layer - 1]
+                        np.matmul(grad, w3[layer].transpose(0, 2, 1),
+                                  out=nxt)
+                        if relu_head:
+                            # float64 * bool upcasts the mask to exact
+                            # 0.0/1.0 — bitwise equal to the scalar
+                            # ``astype(float)`` multiply.
+                            np.multiply(nxt, buf.z[layer - 1] > 0.0,
+                                        out=nxt)
+                        else:
+                            np.multiply(
+                                nxt, self.activation_grad(buf.z[layer - 1]),
+                                out=nxt)
+                        grad = nxt
+                # One contiguous pass applies the scalar per-layer ``/ m``
+                # to every weight and bias gradient at once
+                # (element-independent, and far faster than dividing the
+                # strided per-layer views).
+                np.divide(buf.grad_w, m, out=buf.grad_w)
+                np.divide(buf.grad_b, m, out=buf.grad_b)
+                # SGD step over the whole network at once; per-element this
+                # is exactly the scalar  dw = wg + l2*w;  v = mom*v - lr*dw;
+                # w += v  chain (and db = bg for biases).  Blocks of 16
+                # device rows keep the four weight tensors L2-resident
+                # across the six passes (element-independent, so blocking
+                # cannot change any value).
+                grad_w, tmp_w = buf.grad_w, buf.tmp_w
+                for s in range(0, n_group, 16):
+                    rows_s = slice(s, s + 16)
+                    w_s, v_s, t_s = flat_w[rows_s], vel_w[rows_s], tmp_w[rows_s]
+                    np.multiply(w_s, l2, out=t_s)
+                    np.add(grad_w[rows_s], t_s, out=t_s)
+                    np.multiply(t_s, learning_rate, out=t_s)
+                    np.multiply(v_s, momentum, out=v_s)
+                    np.subtract(v_s, t_s, out=v_s)
+                    np.add(w_s, v_s, out=w_s)
+                np.multiply(buf.grad_b, learning_rate, out=buf.tmp_b)
+                np.multiply(vel_b, momentum, out=vel_b)
+                np.subtract(vel_b, buf.tmp_b, out=vel_b)
+                np.add(flat_b, vel_b, out=flat_b)
+        if not full:
+            # Write the trained subset back into the persistent flat
+            # storage; the per-classifier views (weights, biases and
+            # velocities alike) keep pointing at these rows.
+            self.flat_weights[rows] = flat_w
+            self.flat_biases[rows] = flat_b
+            self._flat_w_vel[rows] = vel_w
+            self._flat_b_vel[rows] = vel_b
+
+
 class MLPRegressor(Regressor):
     """Feed-forward regression network (possibly multi-output)."""
 

@@ -8,7 +8,7 @@ with an exponential forgetting factor so the model tracks workload changes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -143,3 +143,112 @@ class RecursiveLeastSquares(OnlineRegressor):
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.covariance = np.eye(self._dim) * float(delta)
+
+
+def rls_update_fleet(
+    models: Sequence[RecursiveLeastSquares],
+    features: np.ndarray,
+    targets: np.ndarray,
+    state: Optional[dict] = None,
+) -> np.ndarray:
+    """N independent rank-1 RLS updates as stacked matmuls.
+
+    ``models[d]`` consumes ``(features[d], targets[d])`` exactly as its own
+    :meth:`RecursiveLeastSquares.update` would — same gain, same weight and
+    covariance result, bitwise.  The batch stacks the per-model precision
+    matrices into one ``(devices, dim, dim)`` tensor and replaces the N
+    gemv/ddot/outer calls per step with stacked ``np.matmul`` and broadcast
+    products; per-slice BLAS dispatch makes each device's arithmetic
+    identical to the scalar loop (``np.einsum`` would not be — its private
+    summation kernels round differently).  The scalar :meth:`update` stays
+    the equivalence reference.
+
+    Models must be distinct objects sharing ``n_features``/``fit_intercept``
+    (forgetting factors may differ).  Returns the per-model a-priori errors.
+
+    ``state`` (an initially empty dict the caller keeps between steps)
+    carries the stacked weight/precision tensors across calls: each call's
+    output stacks become the next call's inputs, with per-model array
+    *identity* revalidated so any model a scalar :meth:`update` rebound in
+    between is re-copied into its row.  Same arithmetic, no per-step
+    re-stacking or re-validation on the steady path.
+    """
+    if not models:
+        raise ValueError("rls_update_fleet needs at least one model")
+    n_models = len(models)
+    first = models[0]
+    n_features, dim = first.n_features, first._dim
+    fit_intercept = first.fit_intercept
+    cached = (
+        state is not None
+        and state.get("models") is not None
+        and len(state["models"]) == n_models
+        and all(m is c for m, c in zip(models, state["models"]))
+    )
+    if not cached:
+        seen = set()
+        for model in models:
+            if (model.n_features != n_features
+                    or model.fit_intercept != fit_intercept):
+                raise ValueError("fleet RLS update requires homogeneous models")
+            if id(model) in seen:
+                raise ValueError(
+                    "fleet RLS update requires distinct model instances (a "
+                    "shared model must take its updates sequentially)"
+                )
+            seen.add(id(model))
+    data = as_2d(np.asarray(features, dtype=float))
+    if data.shape != (n_models, n_features):
+        raise ValueError(
+            f"expected features of shape {(n_models, n_features)}, "
+            f"got {data.shape}"
+        )
+    if fit_intercept:
+        x = np.concatenate([data, np.ones((n_models, 1))], axis=1)
+    else:
+        x = data
+    if cached:
+        lam = state["lam"]
+        weights = state["weights"]
+        precision = state["precision"]
+        w_views = state["w_views"]
+        p_views = state["p_views"]
+        for i, model in enumerate(models):
+            if model.weights is not w_views[i]:
+                weights[i] = model.weights
+            if model.covariance is not p_views[i]:
+                precision[i] = model.covariance
+    else:
+        lam = np.array([model.forgetting_factor for model in models])
+        weights = np.stack([model.weights for model in models])
+        precision = np.stack([model.covariance for model in models])
+    x_col = x[:, :, None]
+    x_row = x[:, None, :]
+    prediction = np.matmul(x_row, weights[:, :, None])[:, 0, 0]
+    error = np.asarray(targets, dtype=float) - prediction
+    px = np.matmul(precision, x_col)[:, :, 0]
+    denom = lam + np.matmul(x_row, px[:, :, None])[:, 0, 0]
+    gain = px / denom[:, None]
+    new_weights = weights + gain * error[:, None]
+    new_precision = (
+        (precision - gain[:, :, None] * px[:, None, :]) / lam[:, None, None]
+    )
+    # Keep the covariance symmetric in the presence of round-off.
+    new_precision = 0.5 * (new_precision + new_precision.transpose(0, 2, 1))
+    error_floats = error.tolist()
+    new_w_views = list(new_weights)
+    new_p_views = list(new_precision)
+    for row, model in enumerate(models):
+        model.weights = new_w_views[row]
+        model.covariance = new_p_views[row]
+        model.n_updates += 1
+        model.last_error = error_floats[row]
+        model.last_gain = gain[row]
+    if state is not None:
+        state["models"] = list(models)
+        state["lam"] = lam
+        state["weights"] = new_weights
+        state["precision"] = new_precision
+        state["w_views"] = new_w_views
+        state["p_views"] = new_p_views
+    return error

@@ -23,11 +23,11 @@ Two models are provided:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.ml.rls import RecursiveLeastSquares
+from repro.ml.rls import RecursiveLeastSquares, rls_update_fleet
 from repro.models.staff import StabilizedAdaptiveForgettingRLS
 from repro.soc.configuration import SoCConfiguration, SpaceArrays
 from repro.soc.counters import PerformanceCounters
@@ -251,6 +251,40 @@ class CpuPerformanceModel:
         """Bootstrap the latency coefficient from design-time observations."""
         for counters, config in observations:
             self.update(counters, config)
+
+
+def fleet_update_performance_models(
+    models: Sequence[CpuPerformanceModel],
+    counters_list: Sequence[PerformanceCounters],
+    candidates: SpaceArrays,
+    rls_state: Optional[dict] = None,
+) -> np.ndarray:
+    """One :meth:`CpuPerformanceModel.update` per device as a stacked pass.
+
+    ``candidates`` holds each device's executed configuration as one
+    struct-of-arrays row; the per-device ``miss-rate x frequency`` feature
+    and observed big-cluster CPI target are built elementwise in the scalar
+    path's operation order, and the N rank-1 updates become one
+    :func:`~repro.ml.rls.rls_update_fleet` call — bitwise identical to the
+    per-device loop.  Same platform-equality precondition (and the same
+    cross-step ``rls_state`` reuse) as
+    :func:`~repro.models.power.fleet_update_power_models`.  Returns the
+    a-priori CPI errors.
+    """
+    big = candidates.cluster("big")
+    instructions = np.maximum(
+        np.array([c.instructions_retired for c in counters_list]), 1.0)
+    miss_rate = np.array(
+        [c.l2_cache_misses for c in counters_list]) / instructions
+    features = (miss_rate * big.frequency_ghz)[:, None]
+    big_utilization = np.array(
+        [c.big_cluster_utilization for c in counters_list])
+    time_s = np.array([c.execution_time_s for c in counters_list])
+    busy_core_seconds = big_utilization * big.cores_f * time_s
+    cycles = busy_core_seconds * big.frequency_ghz * 1e9
+    targets = cycles / instructions
+    return rls_update_fleet([model.rls for model in models], features, targets,
+                            state=rls_state)
 
 
 class FrameTimeModel:

@@ -15,11 +15,11 @@ configuration-dependent terms (V, f) are recomputed for each candidate.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.ml.rls import RecursiveLeastSquares
+from repro.ml.rls import RecursiveLeastSquares, rls_update_fleet
 from repro.soc.configuration import SoCConfiguration, SpaceArrays
 from repro.soc.counters import PerformanceCounters
 from repro.soc.platform import PlatformSpec
@@ -223,3 +223,54 @@ class CpuPowerModel:
         """Bootstrap from (counters, config) pairs collected at design time."""
         for counters, config in observations:
             self.update(counters, config)
+
+
+def fleet_update_power_models(
+    models: Sequence[CpuPowerModel],
+    counters_list: Sequence[PerformanceCounters],
+    candidates: SpaceArrays,
+    rls_state: Optional[dict] = None,
+) -> np.ndarray:
+    """One :meth:`CpuPowerModel.update` per device as a single stacked pass.
+
+    ``candidates`` holds each device's *own executed configuration* as one
+    struct-of-arrays row (a :meth:`~repro.soc.configuration
+    .ConfigurationSpace.soa_view` gathered at the per-device configuration
+    indices), so every feature is built with the same arithmetic as the
+    scalar :meth:`PowerModelFeatures.build` (reference == candidate) and
+    the N rank-1 RLS updates collapse into one
+    :func:`~repro.ml.rls.rls_update_fleet` call — bitwise identical to the
+    per-device loop.  The caller guarantees every model's platform carries
+    the same OPP values as the space the candidate rows came from (the
+    fleet adoption check); the shared per-OPP prefix tables are then
+    bitwise interchangeable across models.  ``rls_state`` (a caller-kept
+    dict) lets :func:`~repro.ml.rls.rls_update_fleet` reuse its stacked
+    weight/precision tensors across lockstep steps.  Returns the a-priori
+    errors.
+    """
+    features_map = models[0].features
+    big = candidates.cluster("big")
+    little = candidates.cluster("little")
+    big_utilization = np.array(
+        [c.big_cluster_utilization for c in counters_list])
+    little_utilization = np.array(
+        [c.little_cluster_utilization for c in counters_list])
+    time_s = np.maximum(
+        np.array([c.execution_time_s for c in counters_list]), 1e-9)
+    external = np.array(
+        [c.noncache_external_memory_requests for c in counters_list])
+    external_rate_per_us = external / time_s / 1e6
+    big_busy = np.minimum(big_utilization * big.cores_f, big.cores_f)
+    little_busy = np.minimum(
+        little_utilization * little.cores_f, little.cores_f)
+    features = np.empty((len(models), len(PowerModelFeatures.FEATURE_NAMES)))
+    features[:, 0] = features_map._v2f_over_1e9("big")[big.opp_index] * big_busy
+    features[:, 1] = (
+        features_map._v2f_over_1e9("little")[little.opp_index] * little_busy
+    )
+    features[:, 2] = big.voltage_v * big.cores_f
+    features[:, 3] = little.voltage_v * little.cores_f
+    features[:, 4] = external_rate_per_us
+    targets = np.array([c.total_chip_power_w for c in counters_list])
+    return rls_update_fleet([model.rls for model in models], features, targets,
+                            state=rls_state)

@@ -197,6 +197,8 @@ class ConfigurationSpace:
         self._default_index: Optional[int] = None
         self._neighbor_tables: Dict[Tuple[int, int, bool], np.ndarray] = {}
         self._neighbor_views: Dict[Tuple[int, int, bool], NeighborhoodView] = {}
+        self._neighborhood_tables: Dict[Tuple[int, bool],
+                                        Tuple[np.ndarray, np.ndarray]] = {}
         self._clamp_cache: Dict[SoCConfiguration, SoCConfiguration] = {}
 
     def _max_opp_index(self, cluster: str) -> int:
@@ -417,6 +419,33 @@ class ConfigurationSpace:
             )
             self._neighbor_views[key] = view
         return view
+
+    def neighborhood_table(self, radius: int = 1, include_self: bool = True
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded fleet-wide neighbour table ``(indices, lengths)``.
+
+        ``indices`` is an ``(n_configs, max_neighborhood)`` intp array whose
+        row ``i`` holds :meth:`neighbor_indices` of configuration ``i`` in
+        enumeration order, padded with ``0`` past ``lengths[i]`` entries
+        (mask with ``lengths`` before use).  One fancy-indexing gather of
+        this table replaces per-device neighbourhood lookups in the fleet's
+        segmented candidate sweep.  Memoised per ``(radius, include_self)``;
+        treat the returned arrays as read-only.
+        """
+        key = (int(radius), bool(include_self))
+        memo = self._neighborhood_tables.get(key)
+        if memo is None:
+            rows = [self.neighbor_indices(i, radius, include_self)
+                    for i in range(len(self._configs))]
+            lengths = np.fromiter((len(row) for row in rows), dtype=np.intp,
+                                  count=len(rows))
+            table = np.zeros((len(rows), int(lengths.max(initial=0))),
+                             dtype=np.intp)
+            for i, row in enumerate(rows):
+                table[i, :len(row)] = row
+            memo = (table, lengths)
+            self._neighborhood_tables[key] = memo
+        return memo
 
     def neighbors(self, config: SoCConfiguration, radius: int = 1,
                   include_self: bool = True) -> List[SoCConfiguration]:

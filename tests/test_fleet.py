@@ -237,8 +237,10 @@ class TestFleetEquivalence:
         assert fleet[0].log.column("throttled").sum() > 0
 
     def test_online_il_fleet_matches_sequential(self, trained_framework):
-        """Learning devices (scalar decides, batched executions) stay
-        bitwise identical to independent sequential runs."""
+        """Learning devices — batched decides (stacked oracle sweeps +
+        MLP inference), batched executions AND batched observes (stacked
+        RLS model updates) — stay bitwise identical to independent
+        sequential runs."""
         framework = trained_framework
         simulator = framework.simulator
         space = framework.space
@@ -267,13 +269,103 @@ class TestFleetEquivalence:
         engine = build_fleet(devices, simulator, space)
         fleet = engine.run()
         assert engine.batched_executions == engine.steps_executed
-        assert engine.batched_decisions == 0  # online-IL decides scalar
+        assert engine.batched_decisions == engine.steps_executed
+        assert engine.batched_observes > 0
         for reference, actual in zip(sequential, fleet):
             assert_runs_bitwise_equal(
                 reference, actual,
                 keys=LOG_KEYS + ("oracle_match", "oracle_energy_j"),
             )
             assert reference.oracle_energy_j == actual.oracle_energy_j
+
+    def test_online_il_scenario_fleet_matches_sequential(
+            self, trained_framework):
+        """Learning devices under scenario schedules batch through the
+        engine's clamp mirror and stay bitwise faithful, alongside a
+        plain device in the same decide/observe groups."""
+        framework = trained_framework
+        simulator = framework.simulator
+        space = framework.space
+
+        def make_policy():
+            return framework.build_online_il_policy(
+                buffer_capacity=10, update_epochs=10, isolated=True,
+            )
+
+        traces = [make_trace(i, factor=0.2, extra=1) for i in range(3)]
+        scenarios = [
+            get_scenario("thermal_throttle").apply(traces[0], 3),
+            None,
+            get_scenario("phase_churn").apply(traces[2], 9),
+        ]
+        assert scenarios[0].throttle_events
+        sequential = []
+        for i, scenario in enumerate(scenarios):
+            rng = np.random.default_rng(600 + i)
+            if scenario is None:
+                sequential.append(run_policy_on_snippets(
+                    simulator, space, make_policy(), traces[i], rng=rng,
+                ))
+            else:
+                sequential.append(run_policy_on_scenario(
+                    simulator, space, make_policy(), scenario, rng=rng,
+                ))
+        devices = []
+        for i, scenario in enumerate(scenarios):
+            rng = np.random.default_rng(600 + i)
+            if scenario is None:
+                devices.append(DeviceSpec(name=f"d{i}", policy=make_policy(),
+                                          snippets=traces[i], rng=rng))
+            else:
+                devices.append(DeviceSpec(name=f"d{i}", policy=make_policy(),
+                                          scenario=scenario, rng=rng))
+        engine = build_fleet(devices, simulator, space)
+        fleet = engine.run()
+        assert engine.batched_decisions > 0
+        assert engine.batched_observes > 0
+        for i, (reference, actual) in enumerate(zip(sequential, fleet)):
+            keys = LOG_KEYS + (("throttled",) if scenarios[i] is not None
+                               else ())
+            assert_runs_bitwise_equal(reference, actual, keys=keys)
+        assert fleet[0].log.column("throttled").sum() > 0
+
+    def test_online_il_restricted_space_device_falls_back(
+            self, trained_framework):
+        """An online-IL device whose session space differs from its
+        policy's space is pinned to the scalar decide/observe paths and
+        stays bitwise faithful next to batched siblings."""
+        framework = trained_framework
+        simulator = framework.simulator
+        space = framework.space
+        restricted = space.restrict(max_opp_index=2)
+
+        def make_policy():
+            return framework.build_online_il_policy(
+                buffer_capacity=10, update_epochs=10, isolated=True,
+            )
+
+        traces = [make_trace(i, factor=0.2) for i in range(3)]
+        sequential = [
+            run_policy_on_snippets(
+                simulator, restricted if i == 0 else space, make_policy(),
+                traces[i], rng=np.random.default_rng(700 + i),
+            )
+            for i in range(3)
+        ]
+        devices = [
+            DeviceSpec(name=f"d{i}", policy=make_policy(),
+                       snippets=traces[i],
+                       space=restricted if i == 0 else space,
+                       rng=np.random.default_rng(700 + i))
+            for i in range(3)
+        ]
+        engine = build_fleet(devices, simulator, space)
+        fleet = engine.run()
+        # The mismatched device decides and observes scalar; its two
+        # full-space siblings still batch together.
+        assert 0 < engine.batched_decisions < engine.steps_executed
+        for reference, actual in zip(sequential, fleet):
+            assert_runs_bitwise_equal(reference, actual)
 
 
 # --------------------------------------------------------------------- #
@@ -341,15 +433,28 @@ class TestBatchingEligibility:
         with pytest.raises(RuntimeError, match="unobserved pending"):
             engine.step()
 
-    def test_throttled_session_decides_scalar(self, platform, space):
+    def test_throttled_session_batches_with_clamp_mirror(self, platform,
+                                                         space):
+        """Scenario-scheduled sessions batch their decides: the engine
+        replays the session's clamp/throttle phase on the batched
+        proposals, statement for statement."""
         simulator = SoCSimulator(platform, noise_scale=0.0, seed=0)
-        scenario = get_scenario("thermal_throttle").apply(make_trace(0, extra=1), 3)
+        trace = make_trace(0, extra=1)
+        scenario = get_scenario("thermal_throttle").apply(trace, 3)
+        assert scenario.throttle_events
+        sequential = run_policy_on_scenario(
+            simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            scenario,
+        )
         devices = [DeviceSpec(name="d0",
                               policy=GovernorPolicy(OndemandGovernor(space)),
                               scenario=scenario, seed=4)]
         engine = build_fleet(devices, simulator, space)
-        engine.run()
-        assert engine.batched_decisions == 0
+        fleet = engine.run()
+        assert engine.batched_decisions == engine.steps_executed
+        assert_runs_bitwise_equal(sequential, fleet[0],
+                                  keys=LOG_KEYS + ("throttled",))
+        assert fleet[0].log.column("throttled").sum() > 0
 
     def test_gated_space_governor_not_batchable(self, platform):
         gated = ConfigurationSpace(platform, allow_core_gating=True,

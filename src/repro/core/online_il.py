@@ -94,6 +94,8 @@ class OnlineILPolicy(DRMPolicy):
         self.min_model_updates = int(min_model_updates)
         self.n_policy_updates = 0
         self.n_supervision_labels = 0
+        self.n_rejected_decisions = 0
+        self.n_rejected_updates = 0
         self._last_runtime_label: Optional[int] = None
 
     # ------------------------------------------------------------------ #
@@ -110,6 +112,12 @@ class OnlineILPolicy(DRMPolicy):
 
     def decide(self, counters: Optional[PerformanceCounters]) -> SoCConfiguration:
         if counters is None:
+            return self.current
+        if not counters.is_valid():
+            # Degradation gate: corrupted telemetry (NaN dropout, saturated
+            # sensors) must reach neither the scaler/classifier forward nor
+            # the supervision path — hold the last-safe configuration.
+            self.n_rejected_decisions += 1
             return self.current
         scaled = self._scaled(counters)
 
@@ -139,6 +147,13 @@ class OnlineILPolicy(DRMPolicy):
 
     def observe(self, result: SnippetResult) -> None:
         super().observe(result)
+        if not result.counters.is_valid():
+            # Skip the model update: one NaN/garbage observation would
+            # permanently poison the RLS precision tensors.  The executed
+            # configuration is still tracked (super().observe) so the
+            # policy resumes cleanly from the next healthy step.
+            self.n_rejected_updates += 1
+            return
         self.runtime_oracle.update_models(result.counters, result.configuration)
 
     # ------------------------------------------------------------------ #
@@ -376,6 +391,13 @@ class OnlineILPolicy(DRMPolicy):
                 out_configs[i] = current
                 out_indices[i] = space._index.get(current)
                 continue
+            if not counters[i].is_valid():
+                # Scalar decide applies the degradation gate (hold the
+                # last-safe configuration, count the rejection) — invalid
+                # telemetry must not enter the stacked transforms.
+                out_configs[i] = policy.decide(counters[i])
+                out_indices[i] = space._index.get(out_configs[i])
+                continue
             if i in scalar_rows:
                 out_configs[i] = policy.decide(counters[i])
                 out_indices[i] = space._index.get(out_configs[i])
@@ -502,7 +524,10 @@ class OnlineILPolicy(DRMPolicy):
         live_indices: List[int] = []
         for i, policy in enumerate(policies):
             index = getattr(steps[i], "configuration_index", None)
-            if i in scalar_rows or index is None:
+            if (i in scalar_rows or index is None
+                    or not results[i].counters.is_valid()):
+                # Scalar observe also applies the degradation gate, so
+                # invalid telemetry never reaches the stacked RLS updates.
                 policy.observe(results[i])
                 continue
             config = results[i].configuration
@@ -532,6 +557,8 @@ class OnlineILPolicy(DRMPolicy):
         return {
             "policy_updates": float(self.n_policy_updates),
             "supervision_labels": float(self.n_supervision_labels),
+            "rejected_decisions": float(self.n_rejected_decisions),
+            "rejected_updates": float(self.n_rejected_updates),
             "buffer_fill": float(len(self.buffer)),
             "buffer_capacity": float(self.buffer.capacity),
             "buffer_storage_bytes": float(self.buffer.storage_bytes()),

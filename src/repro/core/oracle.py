@@ -27,6 +27,7 @@ from repro.core.oracle_store import (
     code_fingerprint,
     content_digest,
     get_default_oracle_store,
+    store_stats_snapshot,
 )
 from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
 from repro.soc.counters import PerformanceCounters
@@ -219,8 +220,15 @@ _GLOBAL_CACHE_STATS = {
 
 
 def cache_stats_snapshot() -> Dict[str, int]:
-    """Copy of the process-wide OracleCache activity counters."""
-    return dict(_GLOBAL_CACHE_STATS)
+    """Copy of the process-wide OracleCache activity counters.
+
+    Includes the store tier's transient-IO ``store_retries`` counter, so
+    the runner's per-seed metadata deltas surface retry storms next to
+    the hit/miss numbers.
+    """
+    out = dict(_GLOBAL_CACHE_STATS)
+    out.update(store_stats_snapshot())
+    return out
 
 
 class OracleCache:

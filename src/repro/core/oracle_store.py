@@ -31,14 +31,27 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (oracle -> store)
     from repro.core.oracle import OracleEntry
 
 #: Bump when the pickled payload layout changes; old shards become misses.
 STORE_FORMAT_VERSION = 1
+
+#: Process-wide store-activity counters aggregated over every OracleStore
+#: instance (merged into :func:`repro.core.oracle.cache_stats_snapshot`).
+_GLOBAL_STORE_STATS: Dict[str, int] = {"store_retries": 0}
+
+
+def store_stats_snapshot() -> Dict[str, int]:
+    """Copy of the process-wide OracleStore activity counters."""
+    return dict(_GLOBAL_STORE_STATS)
+
 
 _CODE_FINGERPRINT: Optional[str] = None
 
@@ -75,14 +88,62 @@ def code_fingerprint() -> str:
 
 
 class OracleStore:
-    """Directory of content-addressed Oracle-entry shards."""
+    """Directory of content-addressed Oracle-entry shards.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    Transient IO errors (NFS hiccups, ``EINTR``/``EAGAIN``, a briefly
+    unavailable mount in CI) retry up to ``max_retries`` times with
+    bounded exponential backoff whose jitter is drawn from a *seeded*
+    generator — backoff timing is reproducible for a given
+    ``jitter_seed``, like every other stochastic component here.  Retries
+    are counted in :attr:`retries` (and process-wide as
+    ``store_retries``); exhausted retries degrade exactly as before —
+    reads become misses, writes become memory-only (counted in
+    :attr:`write_errors`) — the store never aborts the run.
+
+    ``io_failure_hook`` is a test/chaos hook called before every physical
+    read/write attempt as ``hook(op, path)`` (``op`` is ``"get"`` or
+    ``"put"``); raising :class:`OSError` from it simulates a transient or
+    persistent filesystem failure.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 max_retries: int = 2,
+                 backoff_s: float = 0.005,
+                 jitter_seed: int = 0,
+                 io_failure_hook: Optional[
+                     Callable[[str, Path], None]] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.write_errors = 0
+        self.retries = 0
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.io_failure_hook = io_failure_hook
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Deterministic-jitter exponential backoff delay for ``attempt``.
+
+        ``backoff_s * 2^(attempt-1)`` scaled by a jitter factor in
+        ``[0.5, 1.5)`` from the store's seeded generator (decorrelates
+        concurrent processes without sacrificing reproducibility per
+        store instance).
+        """
+        jitter = 0.5 + float(self._jitter_rng.random())
+        return self.backoff_s * (2.0 ** (attempt - 1)) * jitter
+
+    def _count_retry(self, attempt: int) -> None:
+        self.retries += 1
+        _GLOBAL_STORE_STATS["store_retries"] += 1
+        delay = self._backoff_delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
 
     def _shard_path(self, digest: str) -> Path:
         # Two-level fan-out keeps directory listings small at scale.
@@ -99,17 +160,33 @@ class OracleStore:
         :meth:`put` overwrites the bad shard.
         """
         path = self._shard_path(digest)
-        try:
-            with path.open("rb") as handle:
-                version, entry = pickle.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Truncated/corrupt shard (e.g. a crashed writer on a filesystem
-            # without atomic rename, or bit rot in a restored CI cache).
-            self.misses += 1
-            return None
+        attempt = 0
+        while True:
+            try:
+                if self.io_failure_hook is not None:
+                    self.io_failure_hook("get", path)
+                with path.open("rb") as handle:
+                    version, entry = pickle.load(handle)
+                break
+            except FileNotFoundError:
+                # A shard that does not exist is a clean miss, never a
+                # transient failure — no retry.
+                self.misses += 1
+                return None
+            except OSError:
+                # Transient IO (EINTR, a flaky network mount, ...): retry
+                # with backoff, then degrade to a miss.
+                if attempt >= self.max_retries:
+                    self.misses += 1
+                    return None
+                attempt += 1
+                self._count_retry(attempt)
+            except Exception:
+                # Truncated/corrupt shard (e.g. a crashed writer on a
+                # filesystem without atomic rename, or bit rot in a
+                # restored CI cache) — recomputation heals it; no retry.
+                self.misses += 1
+                return None
         if version != STORE_FORMAT_VERSION:
             self.misses += 1
             return None
@@ -128,29 +205,45 @@ class OracleStore:
         payload = pickle.dumps((STORE_FORMAT_VERSION, entry),
                                protocol=pickle.HIGHEST_PROTOCOL)
         path = self._shard_path(digest)
-        tmp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
-            )
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-            return True
-        except OSError:
-            self.write_errors += 1
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-            return False
+        attempt = 0
+        while True:
+            tmp_name = None
+            try:
+                if self.io_failure_hook is not None:
+                    self.io_failure_hook("put", path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+                )
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+                return True
+            except OSError:
+                if tmp_name is not None:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                if attempt >= self.max_retries:
+                    self.write_errors += 1
+                    return False
+                attempt += 1
+                self._count_retry(attempt)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        """This store's activity counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "write_errors": self.write_errors,
+            "retries": self.retries,
+        }
 
 
 def content_digest(*parts) -> str:

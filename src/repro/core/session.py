@@ -31,8 +31,13 @@ the hardware-clamped configuration that will actually execute, plus the
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +49,20 @@ from repro.soc.energy import EnergyAccount
 from repro.soc.simulator import SnippetResult, SoCSimulator
 from repro.soc.snippet import Snippet
 from repro.utils.records import RunLog, RunRecord
+
+#: Bump when the snapshot payload layout changes; old snapshots then fail
+#: to restore with a clear :class:`SnapshotError` instead of misbehaving.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Leading magic of serialized snapshots (identifies the container format).
+_SNAPSHOT_MAGIC = b"RPSESNAP"
+
+#: Sentinel distinguishing "no rng override" from an explicit ``None``.
+_RNG_UNSET = object()
+
+
+class SnapshotError(RuntimeError):
+    """A serialized session snapshot failed verification or restore."""
 
 
 @dataclass
@@ -313,3 +332,163 @@ class PolicySession:
                              if self.oracle_table is not None else None),
             results=self.results,
         )
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self, rng: Any = _RNG_UNSET) -> Dict[str, Any]:
+        """Full restorable session state as one picklable dict.
+
+        Everything loop-carried is captured — policy (with its learned
+        state), space, trace, log, accounting, counters, cursor and the
+        pending step, if the session is paused mid-phase between decide
+        and observe.  Two references are deliberately excluded:
+
+        * the **simulator** (shared infrastructure, supplied again at
+          :meth:`restore`);
+        * the **space_schedule** (a closure over the live space object;
+          rebuild it over the restored session's ``.space`` — see
+          :meth:`restore`).
+
+        ``rng`` overrides the stored noise generator.  A session adopted
+        for batched execution by the fleet engine has had its private
+        stream pre-drawn to the end of the trace; pass
+        :meth:`~repro.fleet.engine.FleetEngine.sequential_rng_state` so
+        the snapshot resumes with sequential-equivalent draws.
+        """
+        return {
+            "version": SNAPSHOT_FORMAT_VERSION,
+            "name": self.name,
+            "policy": self.policy,
+            "space": self.space,
+            "snippets": self.snippets,
+            "oracle_table": self.oracle_table,
+            "rng": self.rng if rng is _RNG_UNSET else rng,
+            "log": self.log,
+            "account": self.account,
+            "results": self.results,
+            "counters": self.counters,
+            "oracle_energy": self.oracle_energy,
+            "cursor": self._cursor,
+            "pending": self._pending,
+        }
+
+    def snapshot_bytes(self, rng: Any = _RNG_UNSET) -> bytes:
+        """Serialized, checksummed snapshot (magic + SHA-256 + payload).
+
+        One ``pickle.dumps`` over the whole state dict preserves the
+        object-identity invariants restore depends on (``policy.space is
+        session.space``, ``pending.snippet is snippets[pending.index]``).
+        """
+        payload = pickle.dumps(self.snapshot_state(rng),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        return _SNAPSHOT_MAGIC + hashlib.sha256(payload).digest() + payload
+
+    def save_snapshot(self, path: Union[str, Path],
+                      rng: Any = _RNG_UNSET) -> Path:
+        """Write a durable snapshot to ``path`` (atomic temp + rename).
+
+        Readers only ever see a fully written snapshot: the bytes go to a
+        temp file in the target directory and are published with
+        :func:`os.replace`, so a crash mid-write leaves the previous
+        snapshot intact.
+        """
+        path = Path(path)
+        data = self.snapshot_bytes(rng)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @staticmethod
+    def unpack_snapshot(data: bytes) -> Dict[str, Any]:
+        """Verify and deserialize :meth:`snapshot_bytes` output.
+
+        Raises :class:`SnapshotError` on a bad magic, a checksum mismatch
+        (truncated or bit-rotted snapshot), an unpicklable payload, or a
+        version mismatch — a damaged snapshot must never restore into a
+        silently wrong session.
+        """
+        header = len(_SNAPSHOT_MAGIC)
+        if data[:header] != _SNAPSHOT_MAGIC:
+            raise SnapshotError("not a session snapshot (bad magic)")
+        digest, payload = data[header:header + 32], data[header + 32:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise SnapshotError(
+                "snapshot checksum mismatch (truncated or corrupted)"
+            )
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise SnapshotError(f"snapshot payload failed to load: {exc}") \
+                from exc
+        version = state.get("version") if isinstance(state, dict) else None
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot format version {version!r} is not "
+                f"{SNAPSHOT_FORMAT_VERSION}"
+            )
+        return state
+
+    @classmethod
+    def restore(
+        cls,
+        state: Union[Dict[str, Any], bytes],
+        simulator: SoCSimulator,
+        space_schedule: Optional[Callable[[int], ConfigurationSpace]] = None,
+    ) -> "PolicySession":
+        """Rebuild a session from :meth:`snapshot_state` / snapshot bytes.
+
+        The restored session continues bitwise identically to the original
+        (same policy state, same log, same pending step, same noise
+        stream).  ``space_schedule`` must be rebuilt over the *restored*
+        session's ``.space`` (e.g. ``make_space_schedule(session.space,
+        trace)``) — a schedule closed over the original space object would
+        make every step compare as throttled against the unpickled space.
+        """
+        if isinstance(state, (bytes, bytearray)):
+            state = cls.unpack_snapshot(bytes(state))
+        session = cls(
+            simulator,
+            state["space"],
+            state["policy"],
+            state["snippets"],
+            oracle_table=state["oracle_table"],
+            rng=state["rng"],
+            reset_policy=False,
+            space_schedule=space_schedule,
+            name=state["name"],
+        )
+        session.log = state["log"]
+        session.account = state["account"]
+        session.results = state["results"]
+        session.counters = state["counters"]
+        session.oracle_energy = state["oracle_energy"]
+        session._cursor = state["cursor"]
+        session._pending = state["pending"]
+        return session
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        path: Union[str, Path],
+        simulator: SoCSimulator,
+        space_schedule: Optional[Callable[[int], ConfigurationSpace]] = None,
+    ) -> "PolicySession":
+        """Restore a session from a :meth:`save_snapshot` file."""
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"snapshot {path} unreadable: {exc}") from exc
+        return cls.restore(data, simulator, space_schedule=space_schedule)

@@ -569,6 +569,10 @@ def _register_builtins() -> None:
         run_forgetting_factor_ablation,
         run_noc_model_comparison,
     )
+    from repro.experiments.fault_tolerance import (
+        format_fault_tolerance,
+        run_fault_tolerance,
+    )
     from repro.experiments.figure2 import format_figure2, run_figure2
     from repro.experiments.fleet import format_fleet, run_fleet
     from repro.experiments.figure3 import format_figure3, run_figure3
@@ -634,6 +638,16 @@ def _register_builtins() -> None:
             scenarios=getattr(ctx, "scenario_filter", None),
         ),
         formatter=format_fleet, tags=("fleet", "scenario"),
+        uses_design_oracle=True,
+    )
+    register_experiment(
+        "fault-tolerance",
+        "Supervised fleet under injected faults — survival and recovery",
+        lambda scale, seed, ctx: run_fault_tolerance(
+            scale, seed=seed,
+            n_devices=getattr(ctx, "fleet_devices", None),
+        ),
+        formatter=format_fault_tolerance, tags=("robustness", "fault", "fleet"),
         uses_design_oracle=True,
     )
     register_experiment(

@@ -18,8 +18,9 @@ equivalent sequential scenario run.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +33,16 @@ from repro.soc.configuration import ConfigurationSpace, SoCConfiguration
 from repro.soc.simulator import SoCSimulator
 from repro.soc.snippet import Snippet
 from repro.utils.rng import SeedLike, make_rng
+
+
+class FleetBuildWarning(UserWarning):
+    """A fleet is configured in a way that silently degrades it.
+
+    Emitted by :func:`build_fleet` when devices share a measurement-noise
+    generator (the lockstep == sequential bitwise-equivalence contract is
+    lost) or when sessions will silently fall back to scalar execution
+    (the batched kernel's performance is lost with no other signal).
+    """
 
 
 @dataclass
@@ -100,16 +111,93 @@ def device_session(
     )
 
 
+def _warn_fleet_hazards(
+    devices: Sequence[DeviceSpec],
+    sessions: Sequence[PolicySession],
+    engine: FleetEngine,
+    simulator: SoCSimulator,
+) -> None:
+    """Surface silent equivalence/performance degradations eagerly.
+
+    Two hazards used to pass without any signal:
+
+    * Sessions sharing one noise generator (an explicit shared ``rng``, or
+      no generator at all — both then draw from the simulator's stream).
+      Interleaved lockstep draws no longer match sequential runs, so the
+      fleet loses its bitwise-equivalence contract, and those sessions
+      also lose the batched execution kernel.
+    * Sessions classified onto the scalar-execute fallback by
+      ``FleetEngine._execute_batchable`` (exotic simulator, aliased policy
+      generator, ...) — correctness is preserved but throughput silently
+      drops to per-device stepping.
+    """
+    name_of = {id(session): device.name
+               for device, session in zip(devices, sessions)}
+    shared: Dict[int, List[str]] = {}
+    unseeded: List[str] = []
+    for device, session in zip(devices, sessions):
+        if session.rng is None:
+            unseeded.append(device.name)
+        else:
+            shared.setdefault(id(session.rng), []).append(device.name)
+    for names in shared.values():
+        if len(names) > 1:
+            warnings.warn(
+                f"fleet devices {names} share one measurement-noise "
+                "generator: lockstep results will not be bitwise identical "
+                "to sequential runs, and their executions fall back to "
+                "scalar — give each device its own seed/rng",
+                FleetBuildWarning, stacklevel=3,
+            )
+    aliased = [device.name for device, session in zip(devices, sessions)
+               if session.rng is not None and session.rng is simulator.rng]
+    if aliased:
+        warnings.warn(
+            f"fleet devices {aliased} use the simulator's own noise "
+            "generator: sequential equivalence is lost — give each "
+            "device a private seed/rng",
+            FleetBuildWarning, stacklevel=3,
+        )
+    if unseeded:
+        warnings.warn(
+            f"fleet devices {unseeded} have no private noise generator "
+            "(no seed/rng): they draw measurement noise from the "
+            "simulator's shared stream and execute scalar — give each "
+            "device its own seed",
+            FleetBuildWarning, stacklevel=3,
+        )
+    if engine.batch_execute:
+        fallback = [name_of[id(session)]
+                    for session in engine.execute_fallback_sessions()]
+        if fallback:
+            warnings.warn(
+                f"fleet devices {fallback} fall back to scalar (unbatched) "
+                "execution — see FleetEngine._execute_batchable for the "
+                "eligibility rules",
+                FleetBuildWarning, stacklevel=3,
+            )
+
+
 def build_fleet(
     devices: Sequence[DeviceSpec],
     simulator: SoCSimulator,
     base_space: ConfigurationSpace,
     batch_decide: bool = True,
     batch_execute: bool = True,
+    validate: bool = True,
 ) -> FleetEngine:
-    """Lower a device list onto a ready-to-run :class:`FleetEngine`."""
+    """Lower a device list onto a ready-to-run :class:`FleetEngine`.
+
+    ``validate`` (default on) eagerly checks RNG independence across the
+    devices and emits a :class:`FleetBuildWarning` naming the devices
+    whenever the lockstep equivalence contract is compromised or sessions
+    will silently execute scalar.
+    """
     sessions: List[PolicySession] = [
         device_session(device, simulator, base_space) for device in devices
     ]
-    return FleetEngine(sessions, batch_decide=batch_decide,
-                       batch_execute=batch_execute)
+    engine = FleetEngine(sessions, batch_decide=batch_decide,
+                         batch_execute=batch_execute)
+    if validate:
+        _warn_fleet_hazards(devices, sessions, engine, simulator)
+    return engine

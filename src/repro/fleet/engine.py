@@ -77,7 +77,8 @@ class _ExecGroup:
     """
 
     __slots__ = ("simulator", "sessions", "chars", "noise", "row_of",
-                 "uniform_soa", "active_members", "active_rows")
+                 "uniform_soa", "active_members", "active_rows",
+                 "initial_rng")
 
     def __init__(self, simulator: SoCSimulator,
                  sessions: List[PolicySession]) -> None:
@@ -86,6 +87,11 @@ class _ExecGroup:
         self.row_of: Dict[int, int] = {
             id(session): row for row, session in enumerate(sessions)
         }
+        # Generator state of each session *before* its noise stream is
+        # pre-drawn below, keyed by session id, with the step index the
+        # stream was positioned at.  FleetEngine.sequential_rng_state
+        # reconstructs the sequential-equivalent generator from it.
+        self.initial_rng: Dict[int, Tuple[dict, int]] = {}
         spaces = {id(session.space) for session in sessions}
         self.uniform_soa = (sessions[0].space.soa_view()
                             if len(spaces) == 1 else None)
@@ -110,6 +116,9 @@ class _ExecGroup:
             # step (time then power), consumed in step order from the
             # session's own generator, exponentiated elementwise.
             start = session.step_index
+            self.initial_rng[id(session)] = (
+                session.rng.bit_generator.state, start
+            )
             self.noise[row, start:start + remaining] = np.exp(
                 session.rng.normal(0.0, noise_scale, size=(remaining, 2))
             )
@@ -277,6 +286,58 @@ class FleetEngine:
             if len(members) >= 2
         ]
         self._prepared = True
+
+    def execute_fallback_sessions(self) -> List[PolicySession]:
+        """Sessions whose executions would run scalar (no batched kernel).
+
+        Pure classification — usable before :meth:`prepare` (no step
+        tensors are built and no noise is pre-drawn), so fleet builders
+        can surface the silent performance degradation eagerly
+        (:func:`~repro.fleet.device.build_fleet` warns with the device
+        names).
+        """
+        rng_users = Counter(
+            id(session.rng) for session in self.sessions
+            if session.rng is not None
+        )
+        return [session for session in self.sessions
+                if not self._execute_batchable(session, rng_users)]
+
+    def sequential_rng_state(
+        self, session: PolicySession
+    ) -> Optional[np.random.Generator]:
+        """Generator positioned as sequential scalar stepping would leave it.
+
+        Adopting a session for batched execution pre-draws its private
+        noise stream for the whole remaining trace at :meth:`prepare`, so
+        ``session.rng`` no longer reflects the session's *logical*
+        position.  For snapshotting an engine-resident session, this
+        rebuilds an equivalent generator: the pre-draw-time state is
+        restored into a fresh bit generator and exactly the draws of the
+        completed steps (two normals each, the scalar order) are consumed.
+        Scalar-execute and noise-free sessions return ``session.rng``
+        unchanged — their stream already is sequential.
+        """
+        self.prepare()
+        for group in self._exec_groups:
+            if id(session) not in group.row_of:
+                continue
+            entry = group.initial_rng.get(id(session))
+            if entry is None:  # noise-free simulator: stream never touched
+                return session.rng
+            state, start = entry
+            bit_generator = type(session.rng.bit_generator)()
+            bit_generator.state = state
+            rng = np.random.Generator(bit_generator)
+            consumed = session._cursor - start
+            if consumed > 0:
+                # Same prefix consumption as the pre-draw (numpy fills the
+                # output sequentially from the bit stream), so the rebuilt
+                # generator sits exactly after the observed steps' draws.
+                rng.normal(0.0, group.simulator.noise_scale,
+                           size=(consumed, 2))
+            return rng
+        return session.rng
 
     # ------------------------------------------------------------------ #
     # Lockstep stepping

@@ -18,6 +18,7 @@ as their state features.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields
 from typing import Dict, List
 
@@ -85,6 +86,36 @@ class PerformanceCounters:
         counters = cls.__new__(cls)
         counters.__dict__ = values
         return counters
+
+    def is_valid(self) -> bool:
+        """Whether the counters are trustworthy learning/policy inputs.
+
+        Mirrors ``__post_init__``'s physical-range validation plus a
+        finiteness check over every field — the signature of injected or
+        real telemetry faults (NaN dropout, saturated sensors, garbage
+        gains) that must be gated out before reaching the RLS/MLP state.
+        Kept allocation-free (a single summed ``isfinite`` plus scalar
+        comparisons): the fleet-batched decide/observe paths call it per
+        device per step.
+        """
+        total = (self.instructions_retired + self.cpu_cycles
+                 + self.branch_mispredictions + self.l2_cache_misses
+                 + self.data_memory_accesses
+                 + self.noncache_external_memory_requests
+                 + self.little_cluster_utilization
+                 + self.big_cluster_utilization + self.total_chip_power_w
+                 + self.execution_time_s)
+        # Any NaN poisons the sum; a lone ±inf (or an overflowing garbage
+        # gain) leaves it non-finite too.
+        if not math.isfinite(total):
+            return False
+        if self.instructions_retired <= 0 or self.cpu_cycles < 0:
+            return False
+        for value in (self.little_cluster_utilization,
+                      self.big_cluster_utilization):
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                return False
+        return True
 
     def as_dict(self) -> Dict[str, float]:
         return {f.name: float(getattr(self, f.name)) for f in fields(self)}

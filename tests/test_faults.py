@@ -1,0 +1,418 @@
+"""Tests for fault injection, fleet supervision and graceful degradation.
+
+The acceptance bar is two invariants layered on the fleet equivalence
+contract:
+
+* **zero-fault identity** — a supervised fleet with an empty fault plan is
+  bitwise identical to a bare :class:`~repro.fleet.engine.FleetEngine`;
+* **quarantine isolation** — when K devices crash, the surviving N-K
+  devices are bitwise identical to a fleet built without the crashed
+  devices, and a recovered device is bitwise identical to an
+  uninterrupted run.
+
+Plus the degradation paths around them: deterministic plan generation,
+serializable fault specs, online-IL gating of corrupted telemetry, and
+the build-time RNG hazard warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.control.policy import GovernorPolicy
+from repro.core.session import PolicySession
+from repro.fleet import (
+    CounterDropout,
+    DeviceCrash,
+    DeviceHealth,
+    DeviceSpec,
+    FaultPlan,
+    FleetBuildWarning,
+    FleetSupervisor,
+    SnapshotRestart,
+    StragglerStall,
+    TelemetryCorruption,
+    build_fleet,
+    device_session,
+    fault_from_dict,
+)
+from repro.scenarios import get_scenario
+from repro.soc.governors import OndemandGovernor, PowersaveGovernor
+from repro.workloads.generator import SnippetTraceGenerator
+from repro.workloads.suites import training_workloads
+
+LOG_KEYS = ("energy_j", "time_s", "power_w", "big_opp", "little_opp")
+
+
+def make_trace(i, factor=0.3):
+    generator = SnippetTraceGenerator(seed=100 + i)
+    workloads = training_workloads()
+    return generator.generate(workloads[i % len(workloads)].scaled(factor))
+
+
+def governor_devices(space, n=4):
+    """Fresh governor fleet (policies and rngs are stateful: never reuse)."""
+    return [
+        DeviceSpec(
+            name=f"dev{i}",
+            policy=GovernorPolicy(OndemandGovernor(space)) if i % 2 == 0
+            else GovernorPolicy(PowersaveGovernor(space)),
+            snippets=make_trace(i),
+            seed=10 + i,
+        )
+        for i in range(n)
+    ]
+
+
+def assert_logs_equal(reference, actual, keys=LOG_KEYS):
+    assert len(reference.log) == len(actual.log)
+    for key in keys:
+        np.testing.assert_array_equal(
+            reference.log.column(key), actual.log.column(key), err_msg=key
+        )
+
+
+# --------------------------------------------------------------------- #
+# Fault plans
+# --------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_generation_is_deterministic(self):
+        names = ["dev0", "dev1", "dev2", "dev3"]
+        left = FaultPlan.generate(names, 1.0, seed=7, horizon=10)
+        right = FaultPlan.generate(names, 1.0, seed=7, horizon=10)
+        assert left == right
+        assert FaultPlan.generate(names, 1.0, seed=8, horizon=10) != left
+
+    def test_per_device_streams_are_independent(self):
+        """A device's fault depends only on the seed and its own name."""
+        full = FaultPlan.generate(["a", "b", "c"], 1.0, seed=3, horizon=10)
+        solo = FaultPlan.generate(["b"], 1.0, seed=3, horizon=10)
+        assert full.for_device("b") == solo.for_device("b")
+
+    def test_rate_zero_is_empty_and_rate_one_faults_everyone(self):
+        names = ["dev0", "dev1", "dev2"]
+        assert len(FaultPlan.generate(names, 0.0, seed=1)) == 0
+        full = FaultPlan.generate(names, 1.0, seed=1)
+        assert full.device_names() == sorted(names)
+
+    def test_fault_is_stable_across_rates(self):
+        """Raising the rate adds devices; it never changes existing faults."""
+        names = [f"dev{i}" for i in range(8)]
+        half = FaultPlan.generate(names, 0.5, seed=2)
+        full = FaultPlan.generate(names, 1.0, seed=2)
+        for name in half.device_names():
+            assert half.for_device(name) == full.for_device(name)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError, match="fault_rate"):
+            FaultPlan.generate(["a"], 1.5)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.generate(["a"], 0.5, horizon=1)
+
+    def test_plan_round_trips_through_dicts(self):
+        plan = FaultPlan.generate([f"dev{i}" for i in range(6)], 1.0, seed=5)
+        assert len(plan) == 6
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError, match="device name"):
+            DeviceCrash(device="", step=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            DeviceCrash(device="dev0", step=-1)
+        with pytest.raises(ValueError, match="unknown counter fields"):
+            CounterDropout(device="dev0", step=1, fields=("bogus",))
+        with pytest.raises(ValueError, match="gain"):
+            TelemetryCorruption(device="dev0", step=1, gain=0.5)
+        with pytest.raises(ValueError, match="rounds"):
+            StragglerStall(device="dev0", step=1, rounds=0)
+        with pytest.raises(KeyError, match="unknown fault type"):
+            fault_from_dict({"type": "NotAFault", "params": {}})
+
+
+# --------------------------------------------------------------------- #
+# Observation-fault purity
+# --------------------------------------------------------------------- #
+class TestObservationFaults:
+    def _result(self, noisy_simulator, space):
+        snippet = make_trace(0)[0]
+        return noisy_simulator.run_snippet(
+            snippet, space.default_configuration(),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_corrupt_is_pure_and_keeps_physics(self, noisy_simulator, space):
+        original = self._result(noisy_simulator, space)
+        before = original.counters.as_dict()
+        fault = CounterDropout(device="dev0", step=0)
+        corrupted = fault.corrupt(original)
+        # Energy/time are measured physics, not telemetry: untouched.
+        assert corrupted.energy_j == original.energy_j
+        assert corrupted.execution_time_s == original.execution_time_s
+        assert np.isnan(corrupted.counters.big_cluster_utilization)
+        assert not corrupted.counters.is_valid()
+        # The input result was not mutated.
+        assert original.counters.as_dict() == before
+        assert original.counters.is_valid()
+
+    def test_telemetry_corruption_is_detectable(self, noisy_simulator, space):
+        original = self._result(noisy_simulator, space)
+        fault = TelemetryCorruption(device="dev0", step=0, gain=1e6)
+        corrupted = fault.corrupt(original)
+        assert corrupted.counters.big_cluster_utilization > 1.0
+        assert not corrupted.counters.is_valid()
+
+
+# --------------------------------------------------------------------- #
+# Supervisor invariants
+# --------------------------------------------------------------------- #
+class TestSupervisorInvariants:
+    def test_zero_fault_supervised_fleet_is_bitwise_identical(
+            self, noisy_simulator, space):
+        reference = build_fleet(governor_devices(space), noisy_simulator,
+                                space).run()
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space)
+        supervised = supervisor.run()
+        for ref, got in zip(reference, supervised):
+            assert_logs_equal(ref, got)
+        assert all(report.health == "healthy" and not report.supervised
+                   for report in supervisor.reports())
+
+    def test_crash_quarantine_isolates_survivors(self, noisy_simulator,
+                                                 space):
+        """Survivors of a crashed fleet == a fleet built without the dead."""
+        plan = FaultPlan(faults=(DeviceCrash("dev1", 3),))
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space, plan=plan, max_restarts=0)
+        results = supervisor.run()
+        survivors = build_fleet(
+            [d for d in governor_devices(space) if d.name != "dev1"],
+            noisy_simulator, space,
+        ).run()
+        for survivor, slot in zip(survivors, (0, 2, 3)):
+            assert_logs_equal(survivor, results[slot])
+        report = {r.name: r for r in supervisor.reports()}["dev1"]
+        assert report.health == "quarantined"
+        assert not report.completed
+        assert report.steps_completed == 3  # truncated at the crash
+        assert supervisor.survival_fraction == pytest.approx(0.75)
+
+    def test_crash_recovery_is_bitwise_identical_to_uninterrupted(
+            self, noisy_simulator, space):
+        reference = build_fleet(governor_devices(space), noisy_simulator,
+                                space).run()
+        plan = FaultPlan(faults=(DeviceCrash("dev1", 3),))
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space, plan=plan, snapshot_every=2,
+                                     max_restarts=2)
+        results = supervisor.run()
+        for ref, got in zip(reference, results):
+            assert_logs_equal(ref, got)
+        report = {r.name: r for r in supervisor.reports()}["dev1"]
+        assert report.health == "recovered"
+        assert report.restarts == 1
+        assert report.replayed_steps > 0  # snapshot at 2, crash at 3
+        assert report.wasted_energy_j > 0
+        assert supervisor.survival_fraction == 1.0
+
+    def test_stall_triggers_watchdog_then_recovers(self, noisy_simulator,
+                                                   space):
+        reference = build_fleet(governor_devices(space), noisy_simulator,
+                                space).run()
+        plan = FaultPlan(faults=(StragglerStall("dev2", 2, rounds=8),))
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space, plan=plan, watchdog_rounds=2,
+                                     snapshot_every=2)
+        results = supervisor.run()
+        for ref, got in zip(reference, results):
+            assert_logs_equal(ref, got)
+        history = supervisor.health_history("dev2")
+        assert DeviceHealth.DEGRADED in history      # flagged first
+        assert DeviceHealth.QUARANTINED in history   # flatline confirmed
+        assert history[-1] is DeviceHealth.RECOVERED
+        report = {r.name: r for r in supervisor.reports()}["dev2"]
+        assert report.watchdog_flags >= 1
+        assert report.completed
+
+    def test_short_stall_self_recovers_without_quarantine(
+            self, noisy_simulator, space):
+        """A hang shorter than the flatline window clears on its own."""
+        plan = FaultPlan(faults=(StragglerStall("dev0", 2, rounds=3),))
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space, plan=plan, watchdog_rounds=3)
+        supervisor.run()
+        history = supervisor.health_history("dev0")
+        assert DeviceHealth.QUARANTINED not in history
+        assert history[-1] is DeviceHealth.HEALTHY
+        report = {r.name: r for r in supervisor.reports()}["dev0"]
+        assert report.completed and report.restarts == 0
+
+    def test_snapshot_restart_fault_completes_bitwise(self, noisy_simulator,
+                                                      space):
+        reference = build_fleet(governor_devices(space), noisy_simulator,
+                                space).run()
+        plan = FaultPlan(faults=(SnapshotRestart("dev0", 4),))
+        supervisor = FleetSupervisor(governor_devices(space), noisy_simulator,
+                                     space, plan=plan, snapshot_every=3)
+        results = supervisor.run()
+        for ref, got in zip(reference, results):
+            assert_logs_equal(ref, got)
+        report = {r.name: r for r in supervisor.reports()}["dev0"]
+        assert report.restarts == 1
+        assert report.replayed_steps == 1  # snapshot at 3, reboot at 4
+
+    def test_on_disk_snapshots_recover_too(self, tmp_path, noisy_simulator,
+                                           space):
+        reference = build_fleet(governor_devices(space), noisy_simulator,
+                                space).run()
+        plan = FaultPlan(faults=(DeviceCrash("dev3", 4),))
+        supervisor = FleetSupervisor(
+            governor_devices(space), noisy_simulator, space, plan=plan,
+            snapshot_every=2, snapshot_dir=tmp_path / "snapshots",
+        )
+        results = supervisor.run()
+        for ref, got in zip(reference, results):
+            assert_logs_equal(ref, got)
+        assert (tmp_path / "snapshots" / "dev3.snapshot").exists()
+
+    def test_scenario_device_recovers_with_rebuilt_schedule(
+            self, noisy_simulator, space):
+        """Crash-restore on a throttled device rebuilds its space schedule."""
+        def devices():
+            specs = governor_devices(space, n=2)
+            scenario = get_scenario("thermal_throttle").apply(
+                make_trace(2), 123
+            )
+            specs.append(DeviceSpec(
+                name="dev2", policy=GovernorPolicy(OndemandGovernor(space)),
+                scenario=scenario, seed=12,
+            ))
+            return specs
+
+        reference = build_fleet(devices(), noisy_simulator, space).run()
+        assert np.nansum(reference[2].log.column("throttled",
+                                                 default=0.0)) > 0
+        plan = FaultPlan(faults=(DeviceCrash("dev2", 3),))
+        supervisor = FleetSupervisor(devices(), noisy_simulator, space,
+                                     plan=plan, snapshot_every=2)
+        results = supervisor.run()
+        for ref, got in zip(reference, results):
+            assert_logs_equal(ref, got)
+        np.testing.assert_array_equal(
+            reference[2].log.column("throttled", default=0.0),
+            results[2].log.column("throttled", default=0.0),
+        )
+
+    def test_supervisor_validation(self, noisy_simulator, space):
+        plan = FaultPlan(faults=(DeviceCrash("ghost", 1),))
+        with pytest.raises(ValueError, match="not in the fleet"):
+            FleetSupervisor(governor_devices(space), noisy_simulator, space,
+                            plan=plan)
+        with pytest.raises(ValueError, match="at least one device"):
+            FleetSupervisor([], noisy_simulator, space)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            FleetSupervisor(governor_devices(space), noisy_simulator, space,
+                            snapshot_every=0)
+        with pytest.raises(KeyError):
+            supervisor = FleetSupervisor(governor_devices(space),
+                                         noisy_simulator, space)
+            supervisor.health_of("ghost")
+
+
+# --------------------------------------------------------------------- #
+# Online-IL degradation under corrupted telemetry
+# --------------------------------------------------------------------- #
+class TestOnlineILGating:
+    def test_corrupted_counters_are_rejected_not_learned(
+            self, trained_framework):
+        framework = trained_framework
+        policy = framework.build_online_il_policy(
+            buffer_capacity=10, update_epochs=5, isolated=True,
+        )
+        trace = make_trace(0)
+        devices = [
+            DeviceSpec(name="il", policy=policy, snippets=trace, seed=3),
+            DeviceSpec(name="gov",
+                       policy=GovernorPolicy(OndemandGovernor(framework.space)),
+                       snippets=make_trace(1), seed=4),
+        ]
+        plan = FaultPlan(faults=(
+            CounterDropout("il", 1),
+            TelemetryCorruption("il", 3),
+        ))
+        supervisor = FleetSupervisor(devices, framework.simulator,
+                                     framework.space, plan=plan)
+        with warnings.catch_warnings():
+            # NaN telemetry must never leak into numpy reductions.
+            warnings.simplefilter("error", RuntimeWarning)
+            supervisor.run()
+        assert policy.n_rejected_updates >= 2
+        assert policy.n_rejected_decisions >= 1
+        assert policy.diagnostics()["rejected_updates"] >= 2
+        report = {r.name: r for r in supervisor.reports()}["il"]
+        assert report.corrupted_observations == 2
+        assert report.completed
+
+
+# --------------------------------------------------------------------- #
+# build_fleet hazard warnings
+# --------------------------------------------------------------------- #
+class TestBuildFleetWarnings:
+    def test_shared_rng_warns_with_device_names(self, noisy_simulator, space):
+        shared = np.random.default_rng(0)
+        devices = [
+            DeviceSpec(name=f"dev{i}",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       snippets=make_trace(i), rng=shared)
+            for i in range(2)
+        ]
+        with pytest.warns(FleetBuildWarning, match="dev0.*dev1"):
+            build_fleet(devices, noisy_simulator, space)
+
+    def test_unseeded_devices_warn(self, noisy_simulator, space):
+        devices = [DeviceSpec(name="dev0",
+                              policy=GovernorPolicy(OndemandGovernor(space)),
+                              snippets=make_trace(0))]
+        with pytest.warns(FleetBuildWarning, match="dev0"):
+            build_fleet(devices, noisy_simulator, space)
+
+    def test_clean_fleet_does_not_warn(self, noisy_simulator, space):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FleetBuildWarning)
+            build_fleet(governor_devices(space), noisy_simulator, space)
+
+    def test_validate_false_silences_warnings(self, noisy_simulator, space):
+        devices = [DeviceSpec(name="dev0",
+                              policy=GovernorPolicy(OndemandGovernor(space)),
+                              snippets=make_trace(0))]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FleetBuildWarning)
+            build_fleet(devices, noisy_simulator, space, validate=False)
+
+
+# --------------------------------------------------------------------- #
+# Engine RNG reconstruction (snapshotting batched sessions)
+# --------------------------------------------------------------------- #
+class TestSequentialRngState:
+    def test_snapshot_of_batched_session_resumes_scalar_bitwise(
+            self, noisy_simulator, space):
+        """A session snapshotted out of a running engine — whose private rng
+        was pre-drawn for the whole trace — resumes scalar, bitwise equal to
+        the sequential reference."""
+        sequential = device_session(governor_devices(space)[1],
+                                    noisy_simulator, space).run()
+        engine = build_fleet(governor_devices(space), noisy_simulator, space)
+        for _ in range(3):
+            engine.step()
+        session = engine.sessions[1]
+        data = session.snapshot_bytes(
+            rng=engine.sequential_rng_state(session)
+        )
+        restored = PolicySession.restore(data, noisy_simulator)
+        assert restored.step_index == 3
+        resumed = restored.run()
+        assert_logs_equal(sequential, resumed)

@@ -16,7 +16,8 @@ import pytest
 
 from repro.control.policy import GovernorPolicy, StaticPolicy
 from repro.core.framework import run_policy_on_snippets
-from repro.fleet import DeviceSpec, FleetEngine, TraceArrays, build_fleet
+from repro.fleet import (DeviceSpec, FleetBuildWarning, FleetEngine,
+                         TraceArrays, build_fleet)
 from repro.fleet.kernels import lockstep_execute
 from repro.scenarios import get_scenario
 from repro.scenarios.runtime import run_policy_on_scenario
@@ -381,7 +382,9 @@ class TestBatchingEligibility:
                        snippets=make_trace(i), rng=shared)
             for i in range(3)
         ]
-        engine = build_fleet(devices, simulator, space)
+        with pytest.warns(FleetBuildWarning) as record:
+            engine = build_fleet(devices, simulator, space)
+        assert any("share one" in str(w.message) for w in record)
         engine.run()
         assert engine.batched_executions == 0
 
@@ -393,7 +396,9 @@ class TestBatchingEligibility:
             DeviceSpec(name="d1", policy=StaticPolicy(space),
                        snippets=make_trace(1)),  # no seed, no rng
         ]
-        engine = build_fleet(devices, simulator, space)
+        with pytest.warns(FleetBuildWarning) as record:
+            engine = build_fleet(devices, simulator, space)
+        assert any("no private noise" in str(w.message) for w in record)
         engine.run()
         assert engine.batched_executions > 0  # d0 batches
         assert engine.batched_executions < engine.steps_executed  # d1 scalar
@@ -416,7 +421,8 @@ class TestBatchingEligibility:
         devices = [DeviceSpec(name="aliased",
                               policy=RandomPolicy(space, shared),
                               snippets=trace, rng=shared)]
-        engine = build_fleet(devices, simulator, space)
+        with pytest.warns(FleetBuildWarning, match="scalar"):
+            engine = build_fleet(devices, simulator, space)
         fleet = engine.run()
         assert engine.batched_executions == 0
         assert_runs_bitwise_equal(sequential, fleet[0])

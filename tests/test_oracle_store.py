@@ -324,3 +324,108 @@ class TestDeterminismWithStore:
         assert cold_store[3]["store_hits"] == 0
         assert warm_store[3]["store_hits"] > 0
         assert warm_store[3]["store_misses"] == 0
+
+
+class TestStoreRetries:
+    """Bounded retry-with-jitter over transient IO failures."""
+
+    def _store_with_entry(self, tmp_path, simulator, space, sweep_trace,
+                          **kwargs):
+        seed_store = OracleStore(tmp_path / "store")
+        build_oracle(simulator, space, sweep_trace[:1], ENERGY,
+                     cache=OracleCache(store=seed_store))
+        digest = persistent_entry_digest(sweep_trace[0], space, ENERGY)
+        return OracleStore(tmp_path / "store", **kwargs), digest
+
+    def test_transient_get_failure_heals(self, tmp_path, simulator, space,
+                                         sweep_trace):
+        failures = {"remaining": 2}
+
+        def flaky(op, path):
+            if op == "get" and failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise OSError("transient mount hiccup")
+
+        store, digest = self._store_with_entry(
+            tmp_path, simulator, space, sweep_trace,
+            max_retries=2, backoff_s=0.0, io_failure_hook=flaky,
+        )
+        entry = store.get(digest)
+        assert entry is not None
+        assert entry.snippet_name == sweep_trace[0].name
+        assert store.retries == 2
+        assert store.hits == 1 and store.misses == 0
+
+    def test_exhausted_get_retries_degrade_to_miss(self, tmp_path, simulator,
+                                                   space, sweep_trace):
+        def always_fail(op, path):
+            raise OSError("persistent failure")
+
+        store, digest = self._store_with_entry(
+            tmp_path, simulator, space, sweep_trace,
+            max_retries=2, backoff_s=0.0, io_failure_hook=always_fail,
+        )
+        assert store.get(digest) is None
+        assert store.misses == 1
+        assert store.retries == 2  # bounded: never spins forever
+
+    def test_exhausted_put_retries_degrade_to_memory_only(self, tmp_path,
+                                                          simulator, space,
+                                                          sweep_trace):
+        def always_fail(op, path):
+            raise OSError("read-only filesystem")
+
+        store, digest = self._store_with_entry(
+            tmp_path, simulator, space, sweep_trace,
+            max_retries=1, backoff_s=0.0, io_failure_hook=always_fail,
+        )
+        healthy = OracleStore(tmp_path / "store")
+        entry = healthy.get(digest)
+        assert store.put(digest, entry) is False
+        assert store.write_errors == 1
+        assert store.retries == 1
+
+    def test_missing_shard_is_a_clean_miss_without_retry(self, tmp_path):
+        store = OracleStore(tmp_path / "store", max_retries=3)
+        assert store.get("0" * 64) is None
+        assert store.retries == 0  # FileNotFoundError never retries
+        assert store.misses == 1
+
+    def test_backoff_jitter_is_seeded(self, tmp_path):
+        left = OracleStore(tmp_path / "a", backoff_s=0.01, jitter_seed=42)
+        right = OracleStore(tmp_path / "b", backoff_s=0.01, jitter_seed=42)
+        other = OracleStore(tmp_path / "c", backoff_s=0.01, jitter_seed=43)
+        left_delays = [left._backoff_delay(i) for i in (1, 2, 3)]
+        right_delays = [right._backoff_delay(i) for i in (1, 2, 3)]
+        other_delays = [other._backoff_delay(i) for i in (1, 2, 3)]
+        assert left_delays == right_delays
+        assert left_delays != other_delays
+        # Exponential envelope with jitter in [0.5, 1.5).
+        for attempt, delay in zip((1, 2, 3), left_delays):
+            base = 0.01 * 2 ** (attempt - 1)
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_store_retries_surface_in_cache_stats(self, tmp_path, simulator,
+                                                  space, sweep_trace):
+        from repro.core.oracle import cache_stats_snapshot
+
+        def flaky_once(op, path):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise OSError("hiccup")
+
+        failures = {"remaining": 1}
+        store, digest = self._store_with_entry(
+            tmp_path, simulator, space, sweep_trace,
+            max_retries=1, backoff_s=0.0, io_failure_hook=flaky_once,
+        )
+        before = cache_stats_snapshot()["store_retries"]
+        assert store.get(digest) is not None
+        after = cache_stats_snapshot()["store_retries"]
+        assert after - before == 1
+
+    def test_invalid_retry_parameters_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="max_retries"):
+            OracleStore(tmp_path / "store", max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            OracleStore(tmp_path / "store", backoff_s=-0.1)

@@ -14,7 +14,7 @@ import pytest
 
 from repro.control.policy import GovernorPolicy, StaticPolicy
 from repro.core.framework import run_policy_on_snippets
-from repro.core.session import PolicySession
+from repro.core.session import PolicySession, SnapshotError
 from repro.soc.governors import OndemandGovernor
 from repro.workloads.suites import training_workloads
 
@@ -175,3 +175,96 @@ class TestThrottling:
         )
         big_opps = result.log.column("big_opp")
         assert np.all(big_opps[::2] <= 1.0)
+
+
+class TestDurableSnapshots:
+    """Checksummed snapshot/restore of sessions (crash-recovery substrate)."""
+
+    def _fresh(self, noisy_simulator, space, snippet_trace, seed=11):
+        return PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(seed),
+        )
+
+    def test_restore_midrun_is_bitwise_identical(self, noisy_simulator, space,
+                                                 snippet_trace):
+        reference = self._fresh(noisy_simulator, space, snippet_trace).run()
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        for _ in range(3):
+            session.advance()
+        data = session.snapshot_bytes()
+        # Poison the original past the snapshot point: restoring must not
+        # depend on the live session in any way.
+        session.run()
+        restored = PolicySession.restore(data, noisy_simulator)
+        assert restored.step_index == 3
+        resumed = restored.run()
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, resumed.log.column(key))
+        assert reference.total_energy_j == resumed.total_energy_j
+
+    def test_snapshot_with_pending_step_resumes_bitwise(
+            self, noisy_simulator, space, snippet_trace):
+        """A snapshot taken mid-step (decided, not yet observed) resumes."""
+        reference = self._fresh(noisy_simulator, space, snippet_trace).run()
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        session.advance()
+        step = session.decide()  # snapshot between decide and execute
+        assert session.pending is step
+        data = session.snapshot_bytes()
+        session.execute(step)  # the original moves on
+        restored = PolicySession.restore(data, noisy_simulator)
+        assert restored.pending is not None
+        assert restored.pending.index == 1
+        pending = restored.pending
+        result = restored.execute(pending)
+        restored.observe(pending, result)
+        resumed = restored.run()
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, resumed.log.column(key))
+
+    def test_save_and_load_roundtrip(self, tmp_path, noisy_simulator, space,
+                                     snippet_trace):
+        reference = self._fresh(noisy_simulator, space, snippet_trace).run()
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        for _ in range(2):
+            session.advance()
+        path = session.save_snapshot(tmp_path / "nested" / "dev.snapshot")
+        assert path.exists()
+        restored = PolicySession.load_snapshot(path, noisy_simulator)
+        resumed = restored.run()
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, resumed.log.column(key))
+
+    def test_corrupted_snapshot_raises(self, tmp_path, noisy_simulator, space,
+                                       snippet_trace):
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        session.advance()
+        path = session.save_snapshot(tmp_path / "dev.snapshot")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # flip one payload bit
+        with pytest.raises(SnapshotError, match="checksum"):
+            PolicySession.unpack_snapshot(bytes(data))
+
+    def test_truncated_and_foreign_snapshots_raise(self, noisy_simulator,
+                                                   space, snippet_trace):
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        data = session.snapshot_bytes()
+        with pytest.raises(SnapshotError):
+            PolicySession.unpack_snapshot(data[: len(data) // 2])
+        with pytest.raises(SnapshotError, match="magic"):
+            PolicySession.unpack_snapshot(b"not a snapshot at all")
+
+    def test_missing_snapshot_file_raises(self, tmp_path, noisy_simulator):
+        with pytest.raises(SnapshotError, match="read"):
+            PolicySession.load_snapshot(tmp_path / "absent.snapshot",
+                                        noisy_simulator)
+
+    def test_restore_preserves_policy_space_identity(
+            self, noisy_simulator, space, snippet_trace):
+        """The engine's group keys need ``policy.space is session.space``."""
+        session = self._fresh(noisy_simulator, space, snippet_trace)
+        session.advance()
+        restored = PolicySession.restore(session.snapshot_bytes(),
+                                         noisy_simulator)
+        assert restored.policy.space is restored.space

@@ -7,7 +7,7 @@ every run, including ``--benchmark-disable`` smoke runs) and (b) achieve at
 least ``MIN_FLEET_SPEEDUP``x the aggregate steps/second of the sequential
 runs (asserted only on timing-enabled runs).
 
-Two fleets are gated.  The ondemand-governor fleet — the classic
+Three fleets are gated.  The ondemand-governor fleet — the classic
 per-device baseline the paper's motivation names — isolates the lockstep
 engine (batched decides + batched executions + pre-drawn noise streams).
 The online-IL fleet (the paper's actual rollout) exercises the whole
@@ -15,6 +15,10 @@ batched learning path on top of it: fleet-wide runtime-Oracle candidate
 sweeps, stacked RLS model updates with persistent cross-step precision
 tensors, and stacked MLP policy training — each bitwise identical to the
 per-device loops, asserted against 64 sequential runs on every run.
+The sharded fleet routes the governor fleet through the worker-pool
+:class:`~repro.fleet.sharding.ShardedFleetEngine` (shared-memory step
+tensors, streamed O(devices) summaries) and must beat the single-process
+engine's aggregate steps/s while reproducing its logs bitwise.
 
 Each timing-enabled run emits ``BENCH_fleet.json`` at the repository root;
 CI uploads it as an artifact so the fleet-throughput trajectory is tracked
@@ -32,11 +36,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+import os
+
 from repro.control.policy import GovernorPolicy
 from repro.core.framework import run_policy_on_snippets
 from repro.experiments.common import build_trained_framework
 from repro.experiments.scales import TINY
-from repro.fleet import DeviceSpec, build_fleet
+from repro.fleet import DeviceSpec, ShardedFleetEngine, build_fleet
 from repro.soc.configuration import ConfigurationSpace
 from repro.soc.governors import OndemandGovernor
 from repro.soc.platform import odroid_xu3_like
@@ -118,6 +124,9 @@ def perf_record(speedup_gate):
         "thresholds": {
             "min_fleet_speedup": MIN_FLEET_SPEEDUP,
             "min_online_il_fleet_speedup": MIN_ONLINE_IL_FLEET_SPEEDUP,
+            # The sharded gate is relative: strictly more aggregate
+            # steps/s than the single-process engine in the same session.
+            "min_sharded_speedup": 1.0,
         },
         "host": {
             "python": platform_module.python_version(),
@@ -217,6 +226,106 @@ def test_bench_fleet_lockstep(fleet_fixture, perf_record, speedup_gate):
           f"speedup={speedup:.2f}x "
           f"({total_steps / fleet_s:.0f} steps/s aggregate)")
     assert speedup >= MIN_FLEET_SPEEDUP
+
+
+def _sharded_engine(space, simulator, traces, n_shards, collect):
+    devices = [
+        DeviceSpec(
+            name=f"device-{i:02d}",
+            policy=_device_policy(space, i),
+            snippets=traces[i],
+            rng=np.random.default_rng(1000 + i),
+        )
+        for i in range(len(traces))
+    ]
+    return ShardedFleetEngine(devices, simulator, space,
+                              n_shards=n_shards, collect=collect)
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_bench_sharded_fleet(fleet_fixture, perf_record, speedup_gate):
+    """Worker-pool sharded fleet: identical logs, beats single-process.
+
+    The bitwise phase (every run, smoke included) checks the sharded
+    engine against the in-process engine on the full 64-device fleet.
+    The timed phase mirrors the other gates' prepare-outside-timer
+    convention — :meth:`~repro.fleet.sharding.ShardedFleetEngine.prepare`
+    ships shards, builds worker engines and positions noise streams;
+    only the go→done stepping region is measured.  Streaming summaries
+    keep worker memory O(devices), which (with the cycle collector idle)
+    is what lets a sharded run beat the single-process engine even on a
+    single-core host; multi-core hosts add true parallelism on top.
+    """
+    space, simulator, traces = fleet_fixture
+    total_steps = sum(len(trace) for trace in traces)
+
+    reference = _fleet_engine(space, simulator, traces).run()
+    sharded = _sharded_engine(space, simulator, traces,
+                              n_shards=2, collect="logs")
+    summaries = sharded.run()
+    assert sharded.steps_executed == total_steps
+    assert sharded.batched_executions == total_steps
+    for run, summary in zip(reference, summaries):
+        columns = run.log.to_dict()
+        for key in LOG_KEYS:
+            np.testing.assert_array_equal(
+                np.asarray(columns[key]), np.asarray(summary.log[key]),
+                err_msg=key,
+            )
+        assert run.total_energy_j == summary.total_energy_j
+    if not speedup_gate:
+        return
+
+    del reference, sharded, summaries
+    gc.collect()
+
+    # Baseline: the single-process engine's aggregate steps/s, reused
+    # from the lockstep gate when it ran in this session.
+    governor_row = perf_record["results"].get("governor_fleet")
+    if governor_row is not None:
+        baseline_s = governor_row["fleet_s"]
+    else:
+        baseline_s = float("inf")
+        for _ in range(3):
+            timed_engine = _fleet_engine(space, simulator, traces)
+            timed_engine.prepare()
+            start = time.perf_counter()
+            timed_engine.run()
+            baseline_s = min(baseline_s, time.perf_counter() - start)
+            del timed_engine
+            gc.collect()
+
+    n_shards = max(1, min(4, os.cpu_count() or 1))
+    sharded_s = float("inf")
+    for _ in range(5):
+        timed_engine = _sharded_engine(space, simulator, traces,
+                                       n_shards=n_shards,
+                                       collect="summaries")
+        timed_engine.prepare()
+        start = time.perf_counter()
+        timed_engine.execute()
+        sharded_s = min(sharded_s, time.perf_counter() - start)
+        gc.collect()
+
+    speedup = baseline_s / sharded_s
+    perf_record["results"]["sharded_fleet"] = {
+        "devices": N_DEVICES,
+        "total_steps": total_steps,
+        "n_shards": n_shards,
+        "single_process_s": baseline_s,
+        "sharded_s": sharded_s,
+        "single_process_steps_per_s": total_steps / baseline_s,
+        "fleet_steps_per_s": total_steps / sharded_s,
+        "speedup_vs_single_process": speedup,
+    }
+    print(f"\nsharded fleet ({N_DEVICES} devices, {n_shards} shards, "
+          f"{total_steps} steps): single-process={baseline_s:.3f}s "
+          f"sharded={sharded_s:.3f}s speedup={speedup:.2f}x "
+          f"({total_steps / sharded_s:.0f} steps/s aggregate)")
+    assert total_steps / sharded_s > total_steps / baseline_s, (
+        "sharded fleet must exceed the single-process engine's "
+        "aggregate steps/s"
+    )
 
 
 IL_LOG_KEYS = ("energy_j", "time_s", "power_w", "configuration", "accuracy")

@@ -143,7 +143,9 @@ class StaticPolicy(DRMPolicy):
             # A subclass may override decide(); batching would silently
             # replay the base rule instead, so only the exact type batches.
             return None
-        return (type(self).__name__, id(self.space))
+        # Content key, not id(space): process-stable, so content-equal
+        # spaces group together and sharded fleets key identically.
+        return (type(self).__name__, self.space.content_key())
 
     @staticmethod
     def fleet_decide(
@@ -221,7 +223,7 @@ class GovernorPolicy(DRMPolicy):
                for name in self.space.cluster_order):
             return None
         return (type(self).__name__, type(governor).__name__,
-                governor.fleet_params(), id(self.space))
+                governor.fleet_params(), self.space.content_key())
 
     @staticmethod
     def fleet_decide(

@@ -20,7 +20,7 @@ cost at a single forward pass.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -209,7 +209,11 @@ class OnlineILPolicy(DRMPolicy):
         if type(scaler) is not StandardScaler or scaler.mean_ is None:
             return None
         core = classifier._core
-        return ("OnlineILPolicy", id(self.space), oracle.neighborhood_radius,
+        # Content key, not id(space): process-stable and GC-safe, so
+        # content-equal spaces group together and sharded fleets key
+        # identically across worker processes.
+        return ("OnlineILPolicy", self.space.content_key(),
+                oracle.neighborhood_radius,
                 oracle.metric, tuple(core.layer_sizes), core.activation_name)
 
     def fleet_observe_key(self) -> Optional[Tuple]:
@@ -217,7 +221,21 @@ class OnlineILPolicy(DRMPolicy):
             return None
         if not self._fleet_models_batchable():
             return None
-        return ("OnlineILPolicy-observe", id(self.space))
+        return ("OnlineILPolicy-observe", self.space.content_key())
+
+    @staticmethod
+    def _members_match(stored: Optional[Tuple],
+                       policies: Sequence["OnlineILPolicy"]) -> bool:
+        """Whether ``stored`` is exactly the current member tuple.
+
+        Membership is compared by object identity against a tuple that
+        *holds strong references* — unlike the old ``id()``-tuple
+        comparison, a policy that was garbage-collected and whose address
+        was reused by a new allocation can never pass, because the stored
+        tuple keeps the original object alive for the ``is`` check.
+        """
+        return (stored is not None and len(stored) == len(policies)
+                and all(a is b for a, b in zip(stored, policies)))
 
     @staticmethod
     def _fleet_adopt(policies: Sequence["OnlineILPolicy"],
@@ -233,9 +251,15 @@ class OnlineILPolicy(DRMPolicy):
         stacked scaler statistics.  Cheap identity revalidation runs every
         step (cores replaced by ``fit()``, scaler statistics rebound by
         ``partial_fit``); a mismatch triggers full re-adoption.
+
+        Ownership is computed over the member objects themselves (dict
+        keys holding strong references), never over ``id()`` values:
+        every object participating in the dedup is simultaneously alive
+        for the duration of the pass, and the stored member tuple keeps
+        the adopted policies alive across steps, so a GC'd-and-reallocated
+        object can never alias into the wrong row.
         """
-        ids = tuple(id(policy) for policy in policies)
-        if state.get("ids") == ids:
+        if OnlineILPolicy._members_match(state.get("members"), policies):
             fresh = all(
                 policies[row].classifier._core is core
                 for row, core in zip(state["batched_rows"], state["cores"])
@@ -247,7 +271,7 @@ class OnlineILPolicy(DRMPolicy):
             )
             if fresh:
                 return state
-        owners: Dict[int, set] = {}
+        owners: Dict[Any, set] = {}
         for row, policy in enumerate(policies):
             for obj in (
                 policy,
@@ -263,7 +287,8 @@ class OnlineILPolicy(DRMPolicy):
                 policy.runtime_oracle.power_model.rls,
                 policy.runtime_oracle.performance_model.rls,
             ):
-                owners.setdefault(id(obj), set()).add(row)
+                if obj is not None:
+                    owners.setdefault(obj, set()).add(row)
         scalar_rows = set()
         for rows in owners.values():
             if len(rows) > 1:
@@ -280,7 +305,7 @@ class OnlineILPolicy(DRMPolicy):
                 scalar_rows.add(row)
         batched_rows = [row for row in range(len(policies))
                         if row not in scalar_rows]
-        state["ids"] = ids
+        state["members"] = tuple(policies)
         state["scalar_rows"] = scalar_rows
         state["batched_rows"] = batched_rows
         # Rows whose supervision gate has already opened; the gate
@@ -500,9 +525,11 @@ class OnlineILPolicy(DRMPolicy):
         configuration index observe scalar, row-wise.
         """
         space = policies[0].space
-        ids = tuple(id(policy) for policy in policies)
-        if group_state.get("observe_ids") != ids:
-            owners: Dict[int, set] = {}
+        if not OnlineILPolicy._members_match(
+                group_state.get("observe_members"), policies):
+            # Ownership over the objects themselves (strong refs), never
+            # id() values — see _fleet_adopt for the aliasing rationale.
+            owners: Dict[Any, set] = {}
             for row, policy in enumerate(policies):
                 for obj in (
                     policy,
@@ -512,12 +539,13 @@ class OnlineILPolicy(DRMPolicy):
                     policy.runtime_oracle.power_model.rls,  # type: ignore[attr-defined]
                     policy.runtime_oracle.performance_model.rls,  # type: ignore[attr-defined]
                 ):
-                    owners.setdefault(id(obj), set()).add(row)
+                    if obj is not None:
+                        owners.setdefault(obj, set()).add(row)
             scalar_rows = set()
             for rows in owners.values():
                 if len(rows) > 1:
                     scalar_rows.update(rows)
-            group_state["observe_ids"] = ids
+            group_state["observe_members"] = tuple(policies)
             group_state["observe_scalar_rows"] = scalar_rows
         scalar_rows = group_state["observe_scalar_rows"]
         live: List[int] = []

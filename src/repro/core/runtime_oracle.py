@@ -228,7 +228,7 @@ class RuntimeOracle:
         """
         # Imported here (not at module scope) because the fleet package
         # init pulls in scenario/session modules that import this one.
-        from repro.fleet.kernels import masked_first_argmin
+        from repro.fleet.kernels import ARGMIN_EMPTY, masked_first_argmin
 
         first = oracles[0]
         space = first.space
@@ -320,8 +320,21 @@ class RuntimeOracle:
         cost = power * time_s
         if first.metric == "edp":
             cost = cost * time_s
-        best_positions = masked_first_argmin(cost, valid)
-        return candidates[np.arange(n_devices), best_positions]
+        best_positions = masked_first_argmin(cost, valid, on_empty="sentinel")
+        best = candidates[np.arange(n_devices),
+                          np.maximum(best_positions, 0)]
+        empty_rows = np.flatnonzero(best_positions == ARGMIN_EMPTY)
+        for d in empty_rows.tolist():
+            # A device with zero eligible candidates (an empty
+            # neighbourhood row) cannot take the batched argmin — degrade
+            # that row to the scalar sweep, which carries its own
+            # out-of-space/empty handling, and keep every other row on
+            # the batched path.
+            config, _ = oracles[d].best_configuration(
+                counters_list[d], space[int(current[d])]
+            )
+            best[d] = space.index_of(config)
+        return best
 
     def update_models(self, counters: PerformanceCounters,
                       config: SoCConfiguration) -> Dict[str, float]:

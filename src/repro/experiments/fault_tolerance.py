@@ -29,7 +29,8 @@ import numpy as np
 from repro.control.policy import GovernorPolicy
 from repro.experiments.common import build_trained_framework
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.fleet import DeviceSpec, FaultPlan, FleetSupervisor
+from repro.fleet import (DeviceSpec, FaultPlan, FleetSupervisor,
+                         ShardedFleetEngine)
 from repro.scenarios import get_scenario
 from repro.scenarios.runtime import build_scenario_oracle
 from repro.soc.governors import OndemandGovernor
@@ -157,6 +158,7 @@ def run_fault_tolerance(
     seed: SeedLike = 0,
     n_devices: Optional[int] = None,
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    n_shards: Optional[int] = None,
 ) -> FaultToleranceStudy:
     """Sweep fault rate over a supervised mixed fleet.
 
@@ -164,6 +166,14 @@ def run_fault_tolerance(
     governor) and scenario (first half of each policy pair: baseline,
     second half: thermal throttling).  Traces, noise streams and scenario
     perturbations are identical across cells; only the fault plan varies.
+
+    ``n_shards`` accelerates the *fault-free* cells only: a cell whose
+    plan injects nothing is, by the supervisor's documented zero-fault
+    identity, bitwise equal to a bare engine run — so it can route
+    through the :class:`~repro.fleet.sharding.ShardedFleetEngine` worker
+    pool with synthesized all-healthy outcomes.  Cells with injected
+    faults need the supervisor's step-by-step intervention machinery and
+    stay single-process.
     """
     scale = get_scale(scale)
     n = int(n_devices) if n_devices is not None else DEFAULT_FT_DEVICES
@@ -245,40 +255,70 @@ def run_fault_tolerance(
                     snippets=blueprint["snippets"], rng=noise_rng,
                     oracle_table=blueprint["oracle"],
                 ))
-        supervisor = FleetSupervisor(
-            devices, simulator, space, plan=plan,
-            snapshot_every=4, watchdog_rounds=2, max_restarts=2,
-        )
-        runs = supervisor.run()
-        reports = supervisor.reports()
-
         outcomes: List[FaultDeviceOutcome] = []
-        for blueprint, run, report in zip(blueprints, runs, reports):
-            outcomes.append(FaultDeviceOutcome(
-                name=report.name,
-                policy=policy_of[report.name],
-                scenario=blueprint["scenario_name"],
-                health=report.health,
-                completed=report.completed,
-                steps=report.steps_completed,
-                trace_steps=report.trace_steps,
-                crashes=report.crashes,
-                stalls=report.stalls,
-                restarts=report.restarts,
-                replayed_steps=report.replayed_steps,
-                corrupted_observations=report.corrupted_observations,
-                watchdog_flags=report.watchdog_flags,
-                total_energy_j=run.total_energy_j,
-                wasted_energy_j=report.wasted_energy_j,
-                normalized_energy=(run.normalized_energy
-                                   if report.completed
-                                   and run.oracle_energy_j else None),
-            ))
+        if n_shards is not None and len(plan) == 0:
+            # Zero-fault identity: an empty plan makes the supervisor a
+            # bitwise pass-through over the bare engine, so the cell can
+            # run sharded; every device trivially completes healthy.
+            engine = ShardedFleetEngine(devices, simulator, space,
+                                        n_shards=n_shards,
+                                        collect="summaries")
+            for blueprint, summary in zip(blueprints, engine.run()):
+                outcomes.append(FaultDeviceOutcome(
+                    name=summary.name,
+                    policy=policy_of[summary.name],
+                    scenario=blueprint["scenario_name"],
+                    health="healthy",
+                    completed=True,
+                    steps=summary.steps,
+                    trace_steps=blueprint["steps"],
+                    crashes=0,
+                    stalls=0,
+                    restarts=0,
+                    replayed_steps=0,
+                    corrupted_observations=0,
+                    watchdog_flags=0,
+                    total_energy_j=summary.total_energy_j,
+                    wasted_energy_j=0.0,
+                    normalized_energy=(summary.normalized_energy
+                                       if summary.oracle_energy_j
+                                       else None),
+                ))
+            survival_fraction = 1.0
+        else:
+            supervisor = FleetSupervisor(
+                devices, simulator, space, plan=plan,
+                snapshot_every=4, watchdog_rounds=2, max_restarts=2,
+            )
+            runs = supervisor.run()
+            reports = supervisor.reports()
+            for blueprint, run, report in zip(blueprints, runs, reports):
+                outcomes.append(FaultDeviceOutcome(
+                    name=report.name,
+                    policy=policy_of[report.name],
+                    scenario=blueprint["scenario_name"],
+                    health=report.health,
+                    completed=report.completed,
+                    steps=report.steps_completed,
+                    trace_steps=report.trace_steps,
+                    crashes=report.crashes,
+                    stalls=report.stalls,
+                    restarts=report.restarts,
+                    replayed_steps=report.replayed_steps,
+                    corrupted_observations=report.corrupted_observations,
+                    watchdog_flags=report.watchdog_flags,
+                    total_energy_j=run.total_energy_j,
+                    wasted_energy_j=report.wasted_energy_j,
+                    normalized_energy=(run.normalized_energy
+                                       if report.completed
+                                       and run.oracle_energy_j else None),
+                ))
+            survival_fraction = supervisor.survival_fraction
         total_steps = sum(outcome.steps for outcome in outcomes)
         study.cells.append(FaultRateCell(
             fault_rate=rate,
             n_faults=len(plan),
-            survival_fraction=supervisor.survival_fraction,
+            survival_fraction=survival_fraction,
             recovered=sum(1 for o in outcomes if o.health == "recovered"),
             quarantined=sum(1 for o in outcomes if o.health == "quarantined"),
             crashes=sum(o.crashes for o in outcomes),

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.experiments.common import build_trained_framework
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.fleet import DeviceSpec, build_fleet
+from repro.fleet import DeviceSpec, ShardedFleetEngine, build_fleet
 from repro.scenarios import available_scenarios, get_scenario
 from repro.scenarios.runtime import build_scenario_oracle
 from repro.utils.rng import SeedLike, derive_seed, make_rng, stable_name_id
@@ -87,19 +87,61 @@ class FleetStudy:
 
 
 def _fleet_aggregates(reports: Sequence[FleetDeviceReport]) -> Dict[str, float]:
+    """Fleet percentiles over the per-device reports.
+
+    Aggregation is NaN-aware: a device whose ``final_accuracy`` is NaN
+    (e.g. an all-NaN oracle-match prefix shorter than the smoothing
+    window) must not poison every percentile — it is dropped from the
+    accuracy statistics, and ``n_devices_reported`` records how many
+    devices actually contributed.  An empty report list has no meaningful
+    aggregate and raises instead of emitting a mean-of-empty-slice
+    RuntimeWarning with NaN values.
+    """
+    if not reports:
+        raise ValueError(
+            "fleet aggregation needs at least one device report"
+        )
     normalized = np.array([r.normalized_energy for r in reports])
     accuracy = np.array([r.final_accuracy for r in reports])
-    return {
-        "normalized_energy_mean": float(np.mean(normalized)),
-        "normalized_energy_p50": float(np.percentile(normalized, 50)),
-        "normalized_energy_p90": float(np.percentile(normalized, 90)),
-        "normalized_energy_p99": float(np.percentile(normalized, 99)),
-        "final_accuracy_mean": float(np.mean(accuracy)),
-        "final_accuracy_p10": float(np.percentile(accuracy, 10)),
-        "final_accuracy_p50": float(np.percentile(accuracy, 50)),
+    aggregates = {
+        "n_devices_reported": float(len(reports)),
         "fleet_energy_j": float(sum(r.total_energy_j for r in reports)),
         "fleet_time_s": float(sum(r.total_time_s for r in reports)),
     }
+    # np.nanmean/np.nanpercentile still warn (and return NaN) when *every*
+    # entry is NaN — guard each column so a fully-NaN metric yields NaN
+    # silently while its n_* count makes the gap explicit.
+    valid_normalized = normalized[~np.isnan(normalized)]
+    aggregates["n_normalized_energy_reported"] = float(valid_normalized.size)
+    if valid_normalized.size:
+        aggregates.update({
+            "normalized_energy_mean": float(np.mean(valid_normalized)),
+            "normalized_energy_p50": float(np.percentile(valid_normalized, 50)),
+            "normalized_energy_p90": float(np.percentile(valid_normalized, 90)),
+            "normalized_energy_p99": float(np.percentile(valid_normalized, 99)),
+        })
+    else:
+        aggregates.update({
+            "normalized_energy_mean": float("nan"),
+            "normalized_energy_p50": float("nan"),
+            "normalized_energy_p90": float("nan"),
+            "normalized_energy_p99": float("nan"),
+        })
+    valid_accuracy = accuracy[~np.isnan(accuracy)]
+    aggregates["n_final_accuracy_reported"] = float(valid_accuracy.size)
+    if valid_accuracy.size:
+        aggregates.update({
+            "final_accuracy_mean": float(np.mean(valid_accuracy)),
+            "final_accuracy_p10": float(np.percentile(valid_accuracy, 10)),
+            "final_accuracy_p50": float(np.percentile(valid_accuracy, 50)),
+        })
+    else:
+        aggregates.update({
+            "final_accuracy_mean": float("nan"),
+            "final_accuracy_p10": float("nan"),
+            "final_accuracy_p50": float("nan"),
+        })
+    return aggregates
 
 
 def run_fleet(
@@ -107,12 +149,20 @@ def run_fleet(
     seed: SeedLike = 0,
     n_devices: Optional[int] = None,
     scenarios: Optional[Sequence[str]] = None,
+    n_shards: Optional[int] = None,
 ) -> FleetStudy:
     """Train once, roll the online-IL policy out to a lockstep device fleet.
 
     ``scenarios`` restricts the per-device scenario rotation (devices cycle
     through an unperturbed baseline plus the selected scenarios; default:
     every registered scenario).
+
+    ``n_shards`` routes the rollout through the
+    :class:`~repro.fleet.sharding.ShardedFleetEngine` worker pool instead
+    of the in-process engine.  Every per-device report value is bitwise
+    identical either way (and invariant to the shard count); only the
+    batching-fraction metadata may differ, because batch-group membership
+    is evaluated per shard.
     """
     scale = get_scale(scale)
     n = int(n_devices) if n_devices is not None else DEFAULT_FLEET_DEVICES
@@ -162,23 +212,38 @@ def run_fleet(
                 rng=noise_rng, oracle_table=oracle,
             ))
 
-    engine = build_fleet(devices, simulator, space)
-    runs = engine.run()
-
     reports: List[FleetDeviceReport] = []
-    for device, run in zip(devices, runs):
-        throttled = run.log.column("throttled", default=0.0)
-        reports.append(FleetDeviceReport(
-            name=device.name,
-            policy=run.policy_name,
-            scenario=scenario_of[device.name],
-            steps=len(run.log),
-            throttled_steps=int(np.nansum(throttled)),
-            total_energy_j=run.total_energy_j,
-            total_time_s=run.total_time_s,
-            normalized_energy=run.normalized_energy,
-            final_accuracy=run.final_accuracy(),
-        ))
+    if n_shards is not None:
+        engine = ShardedFleetEngine(devices, simulator, space,
+                                    n_shards=n_shards, collect="summaries")
+        for summary in engine.run():
+            reports.append(FleetDeviceReport(
+                name=summary.name,
+                policy=summary.policy_name,
+                scenario=scenario_of[summary.name],
+                steps=summary.steps,
+                throttled_steps=summary.throttled_steps,
+                total_energy_j=summary.total_energy_j,
+                total_time_s=summary.total_time_s,
+                normalized_energy=summary.normalized_energy,
+                final_accuracy=summary.final_accuracy,
+            ))
+    else:
+        engine = build_fleet(devices, simulator, space)
+        runs = engine.run()
+        for device, run in zip(devices, runs):
+            throttled = run.log.column("throttled", default=0.0)
+            reports.append(FleetDeviceReport(
+                name=device.name,
+                policy=run.policy_name,
+                scenario=scenario_of[device.name],
+                steps=len(run.log),
+                throttled_steps=int(np.nansum(throttled)),
+                total_energy_j=run.total_energy_j,
+                total_time_s=run.total_time_s,
+                normalized_energy=run.normalized_energy,
+                final_accuracy=run.final_accuracy(),
+            ))
     total_steps = engine.steps_executed
     return FleetStudy(
         scale_name=scale.name,

@@ -134,7 +134,8 @@ class ExperimentContext:
     """
 
     def __init__(self, scenario_filter: Optional[Sequence[str]] = None,
-                 fleet_devices: Optional[int] = None) -> None:
+                 fleet_devices: Optional[int] = None,
+                 fleet_shards: Optional[int] = None) -> None:
         self._studies: Dict[Tuple[ExperimentScale, Any], OnlineAdaptationStudy] = {}
         #: Names of the scenarios scenario-driven experiments (robustness)
         #: should sweep; ``None`` means every registered scenario.
@@ -145,6 +146,11 @@ class ExperimentContext:
         #: means the experiment's default.
         self.fleet_devices: Optional[int] = (
             int(fleet_devices) if fleet_devices is not None else None
+        )
+        #: Worker-pool shard count for fleet-style experiments
+        #: (``--shards``); ``None`` runs them single-process.
+        self.fleet_shards: Optional[int] = (
+            int(fleet_shards) if fleet_shards is not None else None
         )
 
     def adaptation_study(self, scale: ExperimentScale,
@@ -282,12 +288,14 @@ def _pooled_seed_run(
     cannot change any result).
     """
     global _WORKER_CONTEXT
-    name, scale, seed, scenario_filter, store_path, fleet_devices = task
+    (name, scale, seed, scenario_filter, store_path, fleet_devices,
+     fleet_shards) = task
     _install_worker_store(store_path)
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = ExperimentContext()
     _WORKER_CONTEXT.scenario_filter = scenario_filter
     _WORKER_CONTEXT.fleet_devices = fleet_devices
+    _WORKER_CONTEXT.fleet_shards = fleet_shards
     spec = get_experiment(name)
     stats_before = cache_stats_snapshot()
     start = time.perf_counter()
@@ -362,6 +370,7 @@ class ExperimentRunner:
                  scenario_filter: Optional[Sequence[str]] = None,
                  oracle_store: Optional[Union[OracleStore, str, Path]] = None,
                  fleet_devices: Optional[int] = None,
+                 fleet_shards: Optional[int] = None,
                  ) -> None:
         self.scale = get_scale(scale)
         self.seeds: List[SeedLike] = list(seeds)
@@ -371,7 +380,8 @@ class ExperimentRunner:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.context = ExperimentContext(scenario_filter=scenario_filter,
-                                         fleet_devices=fleet_devices)
+                                         fleet_devices=fleet_devices,
+                                         fleet_shards=fleet_shards)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
         # Installing the store as the process default makes every framework
@@ -531,7 +541,8 @@ class ExperimentRunner:
                           if self.oracle_store is not None else None)
             tasks = [(spec.name, run_scale, seed,
                       self.context.scenario_filter, store_path,
-                      self.context.fleet_devices)
+                      self.context.fleet_devices,
+                      self.context.fleet_shards)
                      for seed in run_seeds]
             pool = self._ensure_executor(run_jobs)
             out.seed_runs = list(pool.map(_pooled_seed_run, tasks))
@@ -636,6 +647,7 @@ def _register_builtins() -> None:
             scale, seed=seed,
             n_devices=getattr(ctx, "fleet_devices", None),
             scenarios=getattr(ctx, "scenario_filter", None),
+            n_shards=getattr(ctx, "fleet_shards", None),
         ),
         formatter=format_fleet, tags=("fleet", "scenario"),
         uses_design_oracle=True,
@@ -646,6 +658,7 @@ def _register_builtins() -> None:
         lambda scale, seed, ctx: run_fault_tolerance(
             scale, seed=seed,
             n_devices=getattr(ctx, "fleet_devices", None),
+            n_shards=getattr(ctx, "fleet_shards", None),
         ),
         formatter=format_fault_tolerance, tags=("robustness", "fault", "fleet"),
         uses_design_oracle=True,
@@ -737,6 +750,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "experiment's built-in fleet size)",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N", dest="shards",
+        help="run fleet experiments through the sharded worker-pool engine "
+             "with N process shards (default: single-process; per-device "
+             "results are bitwise identical either way)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list registered experiments and scales, then exit",
     )
@@ -798,6 +817,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.devices is not None and args.devices < 1:
         print("error: --devices must be >= 1", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     if args.scenarios:
         from repro.scenarios import available_scenarios
         unknown = sorted(set(args.scenarios) - set(available_scenarios()))
@@ -810,7 +832,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runner = ExperimentRunner(scale=args.scale, seeds=seeds, jobs=args.jobs,
                                   scenario_filter=args.scenarios,
                                   oracle_store=args.oracle_store,
-                                  fleet_devices=args.devices)
+                                  fleet_devices=args.devices,
+                                  fleet_shards=args.shards)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -831,15 +854,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{names}; scenario-driven experiments: "
                   f"{available_experiments(tag='scenario')}", file=sys.stderr)
             return 2
-    if args.devices is not None:
-        consumers = [name for name in names
-                     if name in _EXPERIMENT_REGISTRY
-                     and "fleet" in get_experiment(name).tags]
-        if not consumers:
-            print("error: --devices has no effect on "
-                  f"{names}; fleet experiments: "
-                  f"{available_experiments(tag='fleet')}", file=sys.stderr)
-            return 2
+    for flag, value in (("--devices", args.devices), ("--shards", args.shards)):
+        if value is not None:
+            consumers = [name for name in names
+                         if name in _EXPERIMENT_REGISTRY
+                         and "fleet" in get_experiment(name).tags]
+            if not consumers:
+                print(f"error: {flag} has no effect on "
+                      f"{names}; fleet experiments: "
+                      f"{available_experiments(tag='fleet')}", file=sys.stderr)
+                return 2
     exit_code = 0
     with runner:
         for name in names:

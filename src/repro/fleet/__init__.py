@@ -21,6 +21,10 @@ Public surface:
 * :class:`~repro.fleet.supervisor.FleetSupervisor` — health state
   machine, flatline watchdog, quarantine and snapshot-restart recovery
   layered over the engine without disturbing its bitwise contract.
+* :class:`~repro.fleet.sharding.ShardedFleetEngine` — partition the
+  device list across a persistent worker-process pool (step tensors via
+  shared memory, O(devices) streamed summaries), bitwise identical to
+  the single-process engine and invariant to the shard count.
 """
 
 from repro.fleet.device import (
@@ -42,6 +46,12 @@ from repro.fleet.faults import (
     fault_from_dict,
 )
 from repro.fleet.kernels import TraceArrays, lockstep_execute
+from repro.fleet.sharding import (
+    ShardDeviceSummary,
+    ShardedFleetEngine,
+    ShardExecutionError,
+    shutdown_workers,
+)
 from repro.fleet.supervisor import (
     DeviceCrashError,
     DeviceHealth,
@@ -62,6 +72,9 @@ __all__ = [
     "FleetEngine",
     "FleetSupervisor",
     "ObservationFault",
+    "ShardDeviceSummary",
+    "ShardExecutionError",
+    "ShardedFleetEngine",
     "SnapshotRestart",
     "StragglerStall",
     "TelemetryCorruption",
@@ -70,4 +83,5 @@ __all__ = [
     "device_session",
     "fault_from_dict",
     "lockstep_execute",
+    "shutdown_workers",
 ]

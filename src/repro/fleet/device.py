@@ -131,15 +131,18 @@ def _warn_fleet_hazards(
       generator, ...) — correctness is preserved but throughput silently
       drops to per-device stepping.
     """
-    name_of = {id(session): device.name
+    # Object-keyed maps (identity hash, strong refs) — id() keys are
+    # process-local and reusable after GC, so they are banned from every
+    # fleet map (the lint test greps for them).
+    name_of = {session: device.name
                for device, session in zip(devices, sessions)}
-    shared: Dict[int, List[str]] = {}
+    shared: Dict[np.random.Generator, List[str]] = {}
     unseeded: List[str] = []
     for device, session in zip(devices, sessions):
         if session.rng is None:
             unseeded.append(device.name)
         else:
-            shared.setdefault(id(session.rng), []).append(device.name)
+            shared.setdefault(session.rng, []).append(device.name)
     for names in shared.values():
         if len(names) > 1:
             warnings.warn(
@@ -167,7 +170,7 @@ def _warn_fleet_hazards(
             FleetBuildWarning, stacklevel=3,
         )
     if engine.batch_execute:
-        fallback = [name_of[id(session)]
+        fallback = [name_of[session]
                     for session in engine.execute_fallback_sessions()]
         if fallback:
             warnings.warn(

@@ -72,31 +72,62 @@ class _ExecGroup:
     ``chars`` is the padded ``(n_sessions, T_max, n_columns)`` snippet
     characteristics tensor and ``noise`` the matching ``(n_sessions,
     T_max, 2)`` pre-drawn ``exp(normal)`` factor tensor (``None`` for
-    noise-free simulators); ``row_of`` maps session id to tensor row.
-    One step of the group gathers both with a single fancy index.
+    noise-free simulators).  A session's tensor row is its *position* in
+    ``sessions`` — an explicit index, never an ``id()``-derived key, so
+    the group survives pickling and can be rebuilt across process
+    boundaries (sharded fleets).  ``fleet_rows`` maps each group row to
+    the session's row in the owning engine's session list.  One step of
+    the group gathers both tensors with a single fancy index.
     """
 
-    __slots__ = ("simulator", "sessions", "chars", "noise", "row_of",
+    __slots__ = ("simulator", "sessions", "fleet_rows", "chars", "noise",
                  "uniform_soa", "active_members", "active_rows",
-                 "initial_rng")
+                 "active_fleet_rows", "initial_rng", "preset")
 
     def __init__(self, simulator: SoCSimulator,
-                 sessions: List[PolicySession]) -> None:
+                 sessions: List[PolicySession],
+                 fleet_rows: List[int],
+                 preset: Optional[Tuple[np.ndarray,
+                                        Optional[np.ndarray]]] = None) -> None:
         self.simulator = simulator
         self.sessions = sessions
-        self.row_of: Dict[int, int] = {
-            id(session): row for row, session in enumerate(sessions)
-        }
+        self.fleet_rows = fleet_rows
         # Generator state of each session *before* its noise stream is
-        # pre-drawn below, keyed by session id, with the step index the
-        # stream was positioned at.  FleetEngine.sequential_rng_state
-        # reconstructs the sequential-equivalent generator from it.
+        # pre-drawn below, keyed by the session's group row, with the step
+        # index the stream was positioned at.  FleetEngine
+        # .sequential_rng_state reconstructs the sequential-equivalent
+        # generator from it.
         self.initial_rng: Dict[int, Tuple[dict, int]] = {}
-        spaces = {id(session.space) for session in sessions}
+        spaces = {session.space.content_key() for session in sessions}
         self.uniform_soa = (sessions[0].space.soa_view()
                             if len(spaces) == 1 else None)
         self.active_members: List[PolicySession] = []
         self.active_rows = np.empty(0, dtype=np.intp)
+        self.active_fleet_rows: List[int] = []
+        self.preset = preset
+        if preset is not None:
+            # Precomputed step tensors (shared-memory shards): the parent
+            # engine already drew every session's noise factors from a
+            # clone of its generator state — exactly the draws below — so
+            # the tensors are adopted as-is.  The generator-state
+            # bookkeeping still runs (the sessions' streams were never
+            # consumed here), keeping sequential_rng_state exact.
+            self.chars, self.noise = preset
+            noise_scale = simulator.noise_scale
+            if noise_scale == 0.0 or self.noise is None:
+                self.noise = None
+                return
+            for row, session in enumerate(sessions):
+                remaining = len(session) - session.step_index
+                if remaining <= 0:
+                    continue
+                self.initial_rng[row] = (
+                    session.rng.bit_generator.state, session.step_index
+                )
+                # Consume the pre-drawn prefix so session.rng sits exactly
+                # where the in-process pre-draw would have left it.
+                session.rng.normal(0.0, noise_scale, size=(remaining, 2))
+            return
         t_max = max(len(session) for session in sessions)
         traces = [TraceArrays(session.snippets) for session in sessions]
         n_columns = traces[0].matrix.shape[1]
@@ -116,7 +147,7 @@ class _ExecGroup:
             # step (time then power), consumed in step order from the
             # session's own generator, exponentiated elementwise.
             start = session.step_index
-            self.initial_rng[id(session)] = (
+            self.initial_rng[row] = (
                 session.rng.bit_generator.state, start
             )
             self.noise[row, start:start + remaining] = np.exp(
@@ -124,13 +155,15 @@ class _ExecGroup:
             )
 
     def refresh(self) -> None:
-        self.active_members = [session for session in self.sessions
-                               if session._cursor < session._trace_len]
-        row_of = self.row_of
-        self.active_rows = np.fromiter(
-            (row_of[id(session)] for session in self.active_members),
-            dtype=np.intp, count=len(self.active_members),
-        )
+        self.active_members = []
+        self.active_fleet_rows = []
+        rows: List[int] = []
+        for row, session in enumerate(self.sessions):
+            if session._cursor < session._trace_len:
+                self.active_members.append(session)
+                self.active_fleet_rows.append(self.fleet_rows[row])
+                rows.append(row)
+        self.active_rows = np.array(rows, dtype=np.intp)
 
 
 class _DecideGroup:
@@ -191,13 +224,29 @@ class FleetEngine:
         self.batched_decisions = 0
         self.batched_observes = 0
         self._prepared = False
+        # Fleet row of each session: its explicit position in
+        # self.sessions.  Keyed by the session object itself (identity
+        # hash, holding a strong reference) — never by id(), whose values
+        # are process-local and reusable after garbage collection.
+        self._fleet_row: Dict[PolicySession, int] = {
+            session: row for row, session in enumerate(self.sessions)
+        }
         self._scalar_decide: List[PolicySession] = []
         self._decide_groups: List[_DecideGroup] = []
         self._exec_groups: List[_ExecGroup] = []
         self._scalar_execute: List[PolicySession] = []
+        self._scalar_execute_rows: List[int] = []
         self._observe_groups: List[_ObserveGroup] = []
         self._active: List[PolicySession] = []
+        self._active_rows: List[int] = []
         self._active_dirty = True
+        # Optional precomputed (chars, noise) step tensors per exec group,
+        # keyed by the sorted tuple of member fleet rows; installed by
+        # ShardedFleetEngine workers before prepare() so the padded
+        # tensors come from shared memory instead of being rebuilt.
+        self._exec_presets: Dict[Tuple[int, ...],
+                                 Tuple[np.ndarray,
+                                       Optional[np.ndarray]]] = {}
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -248,18 +297,21 @@ class FleetEngine:
         for attr in ("rng", "_rng"):
             if getattr(session.policy, attr, None) is rng:
                 return False
-        return rng_users[id(rng)] == 1
+        return rng_users[rng] == 1
 
     def prepare(self) -> None:
         """Classify sessions and build the fleet step tensors (idempotent)."""
         if self._prepared:
             return
+        # Counters/dicts below key on the objects themselves (generators,
+        # simulators) — identity-hashed with strong references, so keys
+        # can never alias through address reuse the way id() keys can.
         rng_users = Counter(
-            id(session.rng) for session in self.sessions
+            session.rng for session in self.sessions
             if session.rng is not None
         )
         decide_groups: Dict[Tuple, List[PolicySession]] = {}
-        exec_groups: Dict[int, List[PolicySession]] = {}
+        exec_groups: Dict[SoCSimulator, List[PolicySession]] = {}
         observe_groups: Dict[Tuple, List[PolicySession]] = {}
         for session in self.sessions:
             key = self._session_decide_key(session)
@@ -268,19 +320,23 @@ class FleetEngine:
             else:
                 decide_groups.setdefault(key, []).append(session)
             if self._execute_batchable(session, rng_users):
-                exec_groups.setdefault(id(session.simulator), []).append(session)
+                exec_groups.setdefault(session.simulator, []).append(session)
             else:
                 self._scalar_execute.append(session)
+                self._scalar_execute_rows.append(self._fleet_row[session])
             observe_key = self._session_observe_key(session)
             if observe_key is not None:
                 observe_groups.setdefault(observe_key, []).append(session)
         self._decide_groups = [
             _DecideGroup(members) for members in decide_groups.values()
         ]
-        self._exec_groups = [
-            _ExecGroup(members[0].simulator, members)
-            for members in exec_groups.values()
-        ]
+        self._exec_groups = []
+        for simulator, members in exec_groups.items():
+            fleet_rows = [self._fleet_row[session] for session in members]
+            preset = self._exec_presets.get(tuple(sorted(fleet_rows)))
+            self._exec_groups.append(
+                _ExecGroup(simulator, members, fleet_rows, preset=preset)
+            )
         self._observe_groups = [
             _ObserveGroup(members) for members in observe_groups.values()
             if len(members) >= 2
@@ -297,7 +353,7 @@ class FleetEngine:
         names).
         """
         rng_users = Counter(
-            id(session.rng) for session in self.sessions
+            session.rng for session in self.sessions
             if session.rng is not None
         )
         return [session for session in self.sessions
@@ -320,9 +376,11 @@ class FleetEngine:
         """
         self.prepare()
         for group in self._exec_groups:
-            if id(session) not in group.row_of:
+            row = next((r for r, member in enumerate(group.sessions)
+                        if member is session), None)
+            if row is None:
                 continue
-            entry = group.initial_rng.get(id(session))
+            entry = group.initial_rng.get(row)
             if entry is None:  # noise-free simulator: stream never touched
                 return session.rng
             state, start = entry
@@ -376,8 +434,12 @@ class FleetEngine:
     # ------------------------------------------------------------------ #
     def _refresh_active(self) -> None:
         """Rebuild the cached not-yet-finished views (on fleet shrinkage)."""
-        self._active = [session for session in self.sessions
-                        if session._cursor < session._trace_len]
+        self._active = []
+        self._active_rows = []
+        for row, session in enumerate(self.sessions):
+            if session._cursor < session._trace_len:
+                self._active.append(session)
+                self._active_rows.append(row)
         for decide_group in self._decide_groups:
             decide_group.refresh()
         for exec_group in self._exec_groups:
@@ -448,25 +510,30 @@ class FleetEngine:
         scalar.  Sessions share no mutable state, so the regrouping cannot
         change any value relative to the sequential order.
         """
-        results_of: Dict[int, SnippetResult] = {}
+        # Execution results indexed by explicit fleet row (the session's
+        # position in self.sessions) — no id()-keyed maps on the hot path.
+        results_of: List[Optional[SnippetResult]] = [None] * len(self.sessions)
         for group in self._exec_groups:
             members = group.active_members
             if not members:
                 continue
             results = self._execute_group(group, members)
-            for session, result in zip(members, results):
-                results_of[id(session)] = result
+            for fleet_row, result in zip(group.active_fleet_rows, results):
+                results_of[fleet_row] = result
             self.batched_executions += len(members)
-        for session in self._scalar_execute:
+        for fleet_row, session in zip(self._scalar_execute_rows,
+                                      self._scalar_execute):
             if session._pending is not None:
-                results_of[id(session)] = session.execute(session._pending)
-        batch_observed = set()
+                results_of[fleet_row] = session.execute(session._pending)
+        batch_observed: set = set()
+        fleet_row_of = self._fleet_row
         for group in self._observe_groups:
             members = group.active_members
             if len(members) < 2:
                 continue
             steps = [session._pending for session in members]
-            results = [results_of[id(session)] for session in members]
+            member_rows = [fleet_row_of[session] for session in members]
+            results = [results_of[row] for row in member_rows]
             policies = group.active_policies
             type(policies[0]).fleet_observe(
                 policies, steps, results, group.state
@@ -474,13 +541,13 @@ class FleetEngine:
             for session, step, result in zip(members, steps, results):
                 session.observe(step, result, policy_observed=True)
             self.batched_observes += len(members)
-            batch_observed.update(id(session) for session in members)
-        for session in self._active:
-            if id(session) in batch_observed:
+            batch_observed.update(member_rows)
+        for fleet_row, session in zip(self._active_rows, self._active):
+            if fleet_row in batch_observed:
                 continue
             step = session._pending
             if step is not None:
-                session.observe(step, results_of[id(session)])
+                session.observe(step, results_of[fleet_row])
 
     def _execute_group(
         self,

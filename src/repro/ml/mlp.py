@@ -207,7 +207,7 @@ class FleetMLPStack:
                 raise ValueError(
                     "fleet MLP stack requires one shared architecture"
                 )
-        if len({id(core) for core in cores}) != len(cores):
+        if len(set(cores)) != len(cores):
             raise ValueError(
                 "fleet MLP stack requires distinct classifier instances"
             )

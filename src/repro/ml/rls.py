@@ -186,17 +186,20 @@ def rls_update_fleet(
         and all(m is c for m, c in zip(models, state["models"]))
     )
     if not cached:
+        # Object set (identity hash, strong refs) — with every model
+        # simultaneously alive, two set members are the same object iff
+        # they really are shared; id() values can alias after GC.
         seen = set()
         for model in models:
             if (model.n_features != n_features
                     or model.fit_intercept != fit_intercept):
                 raise ValueError("fleet RLS update requires homogeneous models")
-            if id(model) in seen:
+            if model in seen:
                 raise ValueError(
                     "fleet RLS update requires distinct model instances (a "
                     "shared model must take its updates sequentially)"
                 )
-            seen.add(id(model))
+            seen.add(model)
     data = as_2d(np.asarray(features, dtype=float))
     if data.shape != (n_models, n_features):
         raise ValueError(

@@ -190,6 +190,7 @@ class ConfigurationSpace:
         }
         self._batch_arrays: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
         self._cache_key: Optional[Tuple] = None
+        self._content_key: Optional[Tuple] = None
         self._restrictions: Dict[Tuple[Tuple[str, int], ...],
                                  "ConfigurationSpace"] = {}
         self._soa: Optional[SpaceArrays] = None
@@ -599,3 +600,29 @@ class ConfigurationSpace:
                 tuple(self._configs),
             )
         return self._cache_key
+
+    def content_key(self) -> Tuple:
+        """Content-derived, process-stable identity of this space.
+
+        The fleet grouping layer keys batched decide/observe groups on
+        this instead of ``id(space)``: ``id()`` is process-local, changes
+        under pickling, and is reusable after garbage collection, so it
+        silently fragments (or worse, aliases) groups the moment device
+        specs cross a process boundary (sharded fleets).  Two space
+        objects with equal content produce equal keys and may batch
+        together — safe, because every derived structure a batched path
+        touches (``_configs``, ``_index``, ``soa_view``,
+        ``opp_lookup_table``, the default configuration) is a pure
+        function of exactly the constructor state captured here.  The
+        enumerated configuration list itself is *derived* from this state,
+        so unlike :meth:`cache_key` it need not be embedded.
+        """
+        if self._content_key is None:
+            self._content_key = (
+                self.platform.content_key(),
+                self.allow_core_gating,
+                self.min_active_cores,
+                tuple(sorted(self.gated_clusters)),
+                tuple(sorted(self.max_opp_indices.items())),
+            )
+        return self._content_key

@@ -66,6 +66,39 @@ class PlatformSpec:
     def total_cores(self) -> int:
         return sum(spec.n_cores for spec in self.clusters.values())
 
+    def content_key(self) -> tuple:
+        """Content-derived, process-stable identity of this platform.
+
+        Covers every parameter that feeds the power/performance models
+        (same coverage as ``ConfigurationSpace.cache_key``), so two
+        platform objects with equal content — e.g. the same spec pickled
+        into another process — produce equal keys, while any model-visible
+        difference (an OPP table, a coefficient) splits them.  Unlike
+        ``id()``-based keys this is safe to use in fleet grouping keys and
+        cross-process maps.  Clusters key in sorted-name order so dict
+        insertion order cannot leak in.
+        """
+        clusters = []
+        for name in sorted(self.clusters):
+            spec = self.clusters[name]
+            clusters.append((
+                name,
+                spec.n_cores,
+                spec.ipc_peak,
+                spec.capacitance_eff_f,
+                spec.leakage_w_per_v,
+                spec.base_cpi,
+                spec.branch_penalty_cycles,
+                spec.l2_miss_penalty_ns,
+                tuple((opp.frequency_hz, opp.voltage_v) for opp in spec.opps),
+            ))
+        return (
+            self.name,
+            self.memory_power_w_per_gbps,
+            self.base_power_w,
+            tuple(clusters),
+        )
+
 
 def odroid_xu3_like(
     n_big_levels: int = 8,

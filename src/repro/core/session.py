@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -332,6 +333,30 @@ class PolicySession:
                              if self.oracle_table is not None else None),
             results=self.results,
         )
+
+    def state_digest(self) -> str:
+        """Hex SHA-256 over the session's observable run state.
+
+        Covers the name, the step cursor, every log column (raw float64
+        bit patterns, so two digests match only when the logs are
+        *bitwise* identical), and the accounting totals.  This is the
+        equality the fleet control plane's recovery invariant is stated
+        in: a recovered run and an uninterrupted run must report the
+        same digest for every device.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(struct.pack("<q", self._cursor))
+        columns = self.log.to_dict() if len(self.log) else {}
+        for key in sorted(columns):
+            values = columns[key]
+            digest.update(key.encode("utf-8"))
+            digest.update(struct.pack(f"<{len(values)}d", *values))
+        digest.update(struct.pack(
+            "<3d", self.account.total_energy_j, self.account.total_time_s,
+            self.oracle_energy,
+        ))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # Durable snapshots

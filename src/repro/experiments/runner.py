@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import InvalidStateError, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -425,6 +426,44 @@ class ExperimentRunner:
                 and get_default_oracle_store() is self.oracle_store):
             set_default_oracle_store(None)
 
+    def abort(self) -> None:
+        """Tear the worker pool down without waiting for in-flight tasks.
+
+        The graceful-interrupt path (``SIGINT`` on the CLI): queued tasks
+        are cancelled, live worker processes are terminated, and the
+        Oracle store is released exactly like :meth:`close`.  In-flight
+        results are abandoned — callers report partial completion.
+        """
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            self._executor_workers = 0
+            # Killing the workers breaks the pool; the executor's manager
+            # thread then fails every pending future — including ones the
+            # interrupted ``pool.map`` already cancelled, which on Python
+            # 3.11 raises an unguarded InvalidStateError inside that
+            # thread (guarded upstream from 3.12).  Filter that benign
+            # traceback out of the drain; anything else still reaches the
+            # default hook.
+            default_hook = threading.excepthook
+
+            def _quiet_invalid_state(hook_args):
+                if issubclass(hook_args.exc_type, InvalidStateError):
+                    return
+                default_hook(hook_args)
+
+            threading.excepthook = _quiet_invalid_state
+            processes = list((getattr(executor, "_processes", None)
+                              or {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
+        if (self.oracle_store is not None
+                and get_default_oracle_store() is self.oracle_store):
+            set_default_oracle_store(None)
+
     def __enter__(self) -> "ExperimentRunner":
         return self
 
@@ -756,6 +795,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "results are bitwise identical either way)",
     )
     parser.add_argument(
+        "--serve", type=Path, default=None, metavar="DIR", dest="serve",
+        help="instead of running experiments batch-style, start the "
+             "crash-safe control-plane server for a journaled fleet run "
+             "in DIR (built from --scale/--devices/--seed-base/--scenario; "
+             "full control via `python -m repro.service serve`)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --serve: recover the run from DIR's journal instead "
+             "of starting fresh",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list registered experiments and scales, then exit",
     )
@@ -784,6 +835,41 @@ def _registry_payload() -> Dict[str, Any]:
     }
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``--serve DIR``: hand the run to the control-plane service.
+
+    Builds a journaled :class:`~repro.service.run.ServiceRun` from the
+    experiment-style flags (``--scale``, ``--devices``, ``--seed-base``,
+    ``--scenario``) — or recovers one from ``DIR`` with ``--resume`` —
+    and serves it over HTTP until completion or SIGTERM.  A ``kill -9``
+    mid-run is recoverable: restart with ``--serve DIR --resume``.
+    """
+    import asyncio
+
+    from repro.service.run import RunConfig, ServiceRun
+    from repro.service.server import ServiceServer
+
+    if args.resume:
+        run = ServiceRun.recover(args.serve)
+        print(f"resumed from {args.serve} at round {run.rounds}",
+              file=sys.stderr)
+    else:
+        try:
+            config = RunConfig(
+                policy="ondemand", scale=args.scale,
+                n_devices=args.devices if args.devices is not None else 4,
+                seed=args.seed_base, scenarios=tuple(args.scenarios or ()),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        run = ServiceRun.start(config=config, journal_dir=args.serve)
+        print(f"started journaled run in {args.serve}", file=sys.stderr)
+    server = ServiceServer(run, host="127.0.0.1", port=0)
+    asyncio.run(server.serve())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.experiments``."""
     args = _build_parser().parse_args(argv)
@@ -804,6 +890,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"Scales: {', '.join(available_scales())}")
         print(f"Scenarios: {', '.join(available_scenarios())}")
         return 0
+    if args.resume and args.serve is None:
+        print("error: --resume requires --serve DIR", file=sys.stderr)
+        return 2
+    if args.serve is not None:
+        if args.experiments:
+            print("error: --serve starts a journaled fleet server; it does "
+                  "not take experiment names (drive it with "
+                  "`python -m repro.service dispatch`)", file=sys.stderr)
+            return 2
+        return _cmd_serve(args)
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
@@ -865,7 +961,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"{available_experiments(tag='fleet')}", file=sys.stderr)
                 return 2
     exit_code = 0
-    with runner:
+    completed = 0
+    try:
         for name in names:
             try:
                 run = runner.run(name)
@@ -873,6 +970,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 exit_code = 2
                 continue
+            completed += 1
             print(run.format())
             print()
+    except KeyboardInterrupt:
+        # Graceful SIGINT: drain the worker pool (terminate in-flight
+        # workers, cancel queued tasks), say what finished, exit nonzero
+        # with the conventional interrupted status.
+        runner.abort()
+        print(f"interrupted: completed {completed}/{len(names)} "
+              "experiments; partial results above",
+              file=sys.stderr)
+        return 130
+    finally:
+        runner.close()
     return exit_code

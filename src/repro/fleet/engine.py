@@ -397,6 +397,23 @@ class FleetEngine:
             return rng
         return session.rng
 
+    def release_sessions(self) -> List[PolicySession]:
+        """Detach every session with a sequential-equivalent noise stream.
+
+        Adopted sessions had their private generators pre-drawn to the end
+        of the trace at :meth:`prepare`; this resets each ``session.rng``
+        to :meth:`sequential_rng_state` so the sessions can be handed to a
+        *new* engine (or driven scalar) and continue bitwise identically
+        to an uninterrupted sequential run.  The control plane uses this
+        to rebuild the engine after a structural dispatch (e.g. a policy
+        swap).  This engine must be discarded afterwards — its pre-drawn
+        tensors no longer own the sessions' streams.
+        """
+        self.prepare()
+        for session in self.sessions:
+            session.rng = self.sequential_rng_state(session)
+        return self.sessions
+
     # ------------------------------------------------------------------ #
     # Lockstep stepping
     # ------------------------------------------------------------------ #

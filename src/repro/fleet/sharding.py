@@ -390,6 +390,12 @@ class _Worker:
 
 _POOL: List[_Worker] = []
 
+#: Every parent-created shared-memory block still mapped, process-wide.
+#: Engines register blocks here so the atexit sweep can unlink anything a
+#: failed/interrupted engine left behind — no stale ``/dev/shm`` segment
+#: survives a normal interpreter exit, however abnormal the control flow.
+_LIVE_SHARED: List[Any] = []
+
 
 def _acquire_workers(n: int) -> List[_Worker]:
     """Return ``n`` live pool workers, replacing any that died."""
@@ -401,13 +407,46 @@ def _acquire_workers(n: int) -> List[_Worker]:
     return _POOL[:n]
 
 
+def _retire_workers(workers: Sequence["_Worker"]) -> None:
+    """Stop ``workers`` and drop them from the pool.
+
+    Used on every error path: a worker whose pipe may hold an undrained
+    reply (or that is blocked waiting for a ``go`` that will never come)
+    must not be handed to the next engine — its next ``recv`` would
+    return a stale message from the aborted run.  Fresh workers are
+    re-spawned on demand.
+    """
+    for worker in workers:
+        worker.stop()
+        try:
+            _POOL.remove(worker)
+        except ValueError:  # pragma: no cover - already gone
+            pass
+
+
+def _release_leaked_shared() -> None:
+    """Unlink any shared-memory block an aborted engine left mapped."""
+    while _LIVE_SHARED:
+        block = _LIVE_SHARED.pop()
+        try:
+            block.close()
+            block.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
 def shutdown_workers() -> None:
     """Stop every pooled shard worker (idempotent; re-spawned on demand)."""
     while _POOL:
         _POOL.pop().stop()
 
 
-atexit.register(shutdown_workers)
+def _atexit_teardown() -> None:  # pragma: no cover - exercised in subprocess
+    shutdown_workers()
+    _release_leaked_shared()
+
+
+atexit.register(_atexit_teardown)
 
 
 class ShardExecutionError(RuntimeError):
@@ -584,6 +623,7 @@ class ShardedFleetEngine:
         size = chars.nbytes + (noise.nbytes if noise is not None else 0)
         block = shared_memory.SharedMemory(create=True, size=size)
         self._shared.append(block)
+        _LIVE_SHARED.append(block)
         chars_view = np.ndarray(chars.shape, dtype=np.float64,
                                 buffer=block.buf)
         chars_view[:] = chars
@@ -607,6 +647,10 @@ class ShardedFleetEngine:
         while self._shared:
             block = self._shared.pop()
             try:
+                _LIVE_SHARED.remove(block)
+            except ValueError:  # pragma: no cover - atexit sweep got it
+                pass
+            try:
                 block.close()
                 block.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
@@ -626,6 +670,14 @@ class ShardedFleetEngine:
                     raise ShardExecutionError(
                         f"shard preparation failed:\n{reply[1]}"
                     )
+        except BaseException:
+            # Any failure (a shard error, KeyboardInterrupt mid-recv, a
+            # broken pipe) leaves unknown state in the workers' pipes —
+            # undrained "ready" replies, half-shipped bundles.  Retire
+            # them all so the pool never hands poisoned pipes to the
+            # next engine.
+            _retire_workers(workers)
+            raise
         finally:
             # Workers copied their tensors before answering ready (and on
             # error nobody will): the parent mapping can go either way.
@@ -637,26 +689,60 @@ class ShardedFleetEngine:
         if self._workers is None:
             raise RuntimeError("call prepare() before execute()")
         workers, self._workers = self._workers, None
-        for worker in workers:
-            worker.conn.send(("go",))
         summaries: List[ShardDeviceSummary] = []
-        for worker in workers:
-            reply = worker.conn.recv()
-            if reply[0] == "error":
-                raise ShardExecutionError(
-                    f"shard execution failed:\n{reply[1]}"
+        try:
+            for worker in workers:
+                worker.conn.send(("go",))
+            for worker in workers:
+                reply = worker.conn.recv()
+                if reply[0] == "error":
+                    raise ShardExecutionError(
+                        f"shard execution failed:\n{reply[1]}"
+                    )
+                shard = reply[1]
+                self.steps_executed += shard["steps_executed"]
+                self.batched_decisions += shard["batched_decisions"]
+                self.batched_executions += shard["batched_executions"]
+                self.batched_observes += shard["batched_observes"]
+                summaries.extend(
+                    ShardDeviceSummary(**device)
+                    for device in shard["devices"]
                 )
-            shard = reply[1]
-            self.steps_executed += shard["steps_executed"]
-            self.batched_decisions += shard["batched_decisions"]
-            self.batched_executions += shard["batched_executions"]
-            self.batched_observes += shard["batched_observes"]
-            summaries.extend(
-                ShardDeviceSummary(**device) for device in shard["devices"]
-            )
+        except BaseException:
+            # Mid-run workers and undrained "done" replies: same poisoned
+            # -pipe hazard as in prepare().
+            _retire_workers(workers)
+            raise
         return summaries
 
     def run(self) -> List[ShardDeviceSummary]:
         """Prepare and execute every shard; results in device order."""
         self.prepare()
         return self.execute()
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release a prepared-but-never-executed engine's resources.
+
+        Workers of a prepared engine sit blocked waiting for the ``go``
+        broadcast; reusing them for a new engine would corrupt the pool
+        protocol (the next ``run`` message would be read as their ``go``).
+        ``close()`` retires them instead.  Idempotent; a no-op after
+        :meth:`execute`.
+        """
+        if self._workers is not None:
+            workers, self._workers = self._workers, None
+            _retire_workers(workers)
+        self._release_shared()
+
+    def __enter__(self) -> "ShardedFleetEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -154,6 +154,7 @@ class FleetSupervisor:
         watchdog_rounds: int = 3,
         max_restarts: int = 2,
         snapshot_dir: Optional[Union[str, Path]] = None,
+        sessions: Optional[Sequence[PolicySession]] = None,
     ) -> None:
         self.devices: List[DeviceSpec] = list(devices)
         if not self.devices:
@@ -183,16 +184,28 @@ class FleetSupervisor:
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None \
             else None
         self.rounds = 0
+        self._batch_decide = bool(batch_decide)
+        self._batch_execute = bool(batch_execute)
 
+        if sessions is not None and len(sessions) != len(self.devices):
+            raise ValueError(
+                f"sessions count {len(sessions)} does not match device "
+                f"count {len(self.devices)}"
+            )
         faulted = set(self.plan.device_names())
         self._supervised: List[_Supervised] = []
         self._by_name: Dict[str, _Supervised] = {}
         engine_devices: List[DeviceSpec] = []
+        engine_sessions: List[PolicySession] = []
         #: Original order: ("engine", engine_index) | ("supervised", index).
         self._slots: List[Tuple[str, int]] = []
-        for device in self.devices:
+        for index, device in enumerate(self.devices):
             if device.name in faulted:
-                session = device_session(device, simulator, base_space)
+                # A pre-built session (restore path) is adopted as-is —
+                # its policy/log/rng state must not be reset; a fresh run
+                # lowers the DeviceSpec the usual way.
+                session = (sessions[index] if sessions is not None
+                           else device_session(device, simulator, base_space))
                 supervised = _Supervised(
                     device, session, self.plan.for_device(device.name)
                 )
@@ -202,12 +215,20 @@ class FleetSupervisor:
             else:
                 self._slots.append(("engine", len(engine_devices)))
                 engine_devices.append(device)
-        self.engine: Optional[FleetEngine] = (
-            build_fleet(engine_devices, simulator, base_space,
-                        batch_decide=batch_decide,
-                        batch_execute=batch_execute)
-            if engine_devices else None
-        )
+                if sessions is not None:
+                    engine_sessions.append(sessions[index])
+        if not engine_devices:
+            self.engine: Optional[FleetEngine] = None
+        elif sessions is not None:
+            # Restored sessions: skip build_fleet's session construction
+            # (and its hazard validation, which targets fresh fleets).
+            self.engine = FleetEngine(engine_sessions,
+                                      batch_decide=self._batch_decide,
+                                      batch_execute=self._batch_execute)
+        else:
+            self.engine = build_fleet(engine_devices, simulator, base_space,
+                                      batch_decide=batch_decide,
+                                      batch_execute=batch_execute)
         # Baseline durable snapshot: every supervised device can restart
         # from step 0 even if it crashes before the first cadence point.
         for supervised in self._supervised:
@@ -396,6 +417,80 @@ class FleetSupervisor:
             assert self.engine is not None
             return self.engine.sessions[index]
         return self._supervised[index].session
+
+    # ------------------------------------------------------------------ #
+    # Control-plane surface (the service layer drives these)
+    # ------------------------------------------------------------------ #
+    @property
+    def sessions(self) -> List[PolicySession]:
+        """Live sessions in device input order."""
+        return [self._session_at(slot) for slot in self._slots]
+
+    def session_named(self, name: str) -> PolicySession:
+        """The live session of one device."""
+        for device, slot in zip(self.devices, self._slots):
+            if device.name == name:
+                return self._session_at(slot)
+        raise KeyError(f"unknown device {name!r}")
+
+    def sequential_rng_state(self, session: PolicySession):
+        """Sequential-equivalent noise generator of one fleet session.
+
+        Engine-resident sessions delegate to :meth:`~repro.fleet.engine
+        .FleetEngine.sequential_rng_state` (their streams were pre-drawn
+        at adoption); supervised sessions step scalar, so their live
+        generator already is sequential.
+        """
+        if self.engine is not None:
+            return self.engine.sequential_rng_state(session)
+        return session.rng
+
+    def health_map(self) -> Dict[str, DeviceHealth]:
+        """Current health of every device, keyed by name."""
+        return {device.name: self.health_of(device.name)
+                for device in self.devices}
+
+    def replace_policy(self, name: str, policy) -> None:
+        """Swap one device's policy at a round boundary (dispatch path).
+
+        ``policy`` must be built over the target session's own space
+        (``policy.space is session.space``), or the engine's batched
+        decide would reason over the wrong configuration set.  For an
+        engine-resident device the engine is rebuilt around the same
+        session objects: every session's generator is first restored to
+        its sequential-equivalent state (:meth:`~repro.fleet.engine
+        .FleetEngine.release_sessions`), so the new engine's pre-draw
+        reproduces exactly the draws the old engine had in store and all
+        other devices continue bitwise unchanged.
+        """
+        session = self.session_named(name)
+        if session.pending is not None:
+            raise RuntimeError(
+                f"device {name!r} has an unobserved pending step; policies "
+                "can only be swapped at a round boundary"
+            )
+        if policy.space is not session.space:
+            raise ValueError(
+                f"replacement policy for {name!r} must be built over the "
+                "session's own configuration space"
+            )
+        kind = next(slot[0] for device, slot
+                    in zip(self.devices, self._slots) if device.name == name)
+        if kind == "engine":
+            assert self.engine is not None
+            old = self.engine
+            old.release_sessions()
+            session.policy = policy
+            self.engine = FleetEngine(old.sessions,
+                                      batch_decide=self._batch_decide,
+                                      batch_execute=self._batch_execute)
+            # Keep cumulative batching counters meaningful across rebuilds.
+            self.engine.steps_executed = old.steps_executed
+            self.engine.batched_decisions = old.batched_decisions
+            self.engine.batched_executions = old.batched_executions
+            self.engine.batched_observes = old.batched_observes
+        else:
+            session.policy = policy
 
     # ------------------------------------------------------------------ #
     # Reporting

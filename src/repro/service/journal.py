@@ -1,0 +1,195 @@
+"""Durable run journal: append-only, fsync'd, sha256-framed records.
+
+The journal is the crash-safety substrate of the control plane.  Every
+record is one protocol message (:mod:`repro.service.protocol`) framed as::
+
+    [4-byte big-endian payload length][32-byte sha256(payload)][payload]
+
+where the payload is the message's canonical JSON encoding.  Appends are
+``write + flush + fsync`` so an acknowledged record survives ``kill -9``
+at any later instant.  The file opens with an 8-byte magic header
+identifying the format version.
+
+Read semantics distinguish the two corruption classes a recovery must
+treat differently:
+
+* **Torn tail** — the process died mid-append: the final frame is
+  incomplete (short header/payload) or fails its checksum *and* extends
+  to end-of-file.  The tail is discarded and reading succeeds with
+  ``truncated=True``; everything before the torn frame was fsync'd and
+  is intact.
+* **Mid-file corruption** — a checksum mismatch with more bytes after
+  the frame (bit rot, external truncation + append).  That journal is
+  untrustworthy as a whole: :class:`JournalError` is raised with the
+  frame offset, mirroring the ``SnapshotError`` diagnostics of
+  :meth:`~repro.core.session.PolicySession.unpack_snapshot`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.service.protocol import (
+    Message,
+    ProtocolError,
+    dumps_message,
+    loads_message,
+)
+
+#: Leading magic of journal files (identifies format + framing version).
+JOURNAL_MAGIC = b"RPJRNL01"
+
+_LEN = struct.Struct(">I")
+_DIGEST_SIZE = 32
+_FRAME_HEADER = _LEN.size + _DIGEST_SIZE
+
+
+class JournalError(RuntimeError):
+    """A journal file failed verification (unrecoverable corruption)."""
+
+
+class Journal:
+    """Append-only message log with per-record durability.
+
+    Opening an existing journal seeks to its end (verifying the magic);
+    ``create=True`` requires the file to not exist yet.  :meth:`append`
+    frames, writes and fsyncs one message — when it returns, the record
+    is durable.
+    """
+
+    def __init__(self, path: Union[str, Path], create: bool = False) -> None:
+        self.path = Path(path)
+        if create:
+            if self.path.exists():
+                raise JournalError(f"journal {self.path} already exists")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "xb")
+            self._handle.write(JOURNAL_MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        else:
+            if not self.path.exists():
+                raise JournalError(f"journal {self.path} does not exist")
+            data = self.path.read_bytes()
+            if data[:len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+                raise JournalError(f"{self.path} is not a journal (bad magic)")
+            # Truncate any torn tail before appending: a record written
+            # after torn bytes would turn a recoverable crash artefact
+            # into mid-file corruption on the next read.  Raises on
+            # mid-file corruption — such a journal must not be extended.
+            valid_end = _valid_prefix_length(self.path, data)
+            if valid_end < len(data):
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            self._handle = open(self.path, "ab")
+
+    def append(self, message: Message) -> None:
+        """Frame, write and fsync one record (durable once returned)."""
+        payload = dumps_message(message).encode("utf-8")
+        frame = (_LEN.pack(len(payload))
+                 + hashlib.sha256(payload).digest()
+                 + payload)
+        self._handle.write(frame)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _valid_prefix_length(path: Path, data: bytes) -> int:
+    """Byte offset of the end of the last intact frame in ``data``.
+
+    Walks the frames exactly like :func:`read_journal`; a torn tail
+    yields the offset where it starts (so callers can truncate it), and
+    mid-file corruption raises :class:`JournalError`.
+    """
+    offset = len(JOURNAL_MAGIC)
+    size = len(data)
+    while offset < size:
+        if offset + _FRAME_HEADER > size:
+            return offset
+        (length,) = _LEN.unpack_from(data, offset)
+        digest = data[offset + _LEN.size:offset + _FRAME_HEADER]
+        start = offset + _FRAME_HEADER
+        end = start + length
+        if end > size:
+            return offset
+        if hashlib.sha256(data[start:end]).digest() != digest:
+            if end == size:
+                return offset
+            raise JournalError(
+                f"journal {path}: record at offset {offset} failed its "
+                "checksum with records following it (mid-file corruption)"
+            )
+        offset = end
+    return offset
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[List[Message], bool]:
+    """Read every intact record of a journal file.
+
+    Returns ``(messages, truncated)`` where ``truncated`` reports a
+    discarded torn tail (crash mid-append).  Raises :class:`JournalError`
+    for a bad magic, mid-file corruption, or an undecodable (yet
+    checksum-valid) payload — those indicate bit rot or a foreign file,
+    not a torn write.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"journal {path} unreadable: {exc}") from exc
+    if data[:len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        raise JournalError(f"{path} is not a journal (bad magic)")
+    messages: List[Message] = []
+    offset = len(JOURNAL_MAGIC)
+    size = len(data)
+    while offset < size:
+        if offset + _FRAME_HEADER > size:
+            return messages, True  # torn frame header at EOF
+        (length,) = _LEN.unpack_from(data, offset)
+        digest = data[offset + _LEN.size:offset + _FRAME_HEADER]
+        start = offset + _FRAME_HEADER
+        end = start + length
+        if end > size:
+            return messages, True  # torn payload at EOF
+        payload = data[start:end]
+        if hashlib.sha256(payload).digest() != digest:
+            if end == size:
+                return messages, True  # checksum-failed final frame: torn
+            raise JournalError(
+                f"journal {path}: record at offset {offset} failed its "
+                "checksum with records following it (mid-file corruption)"
+            )
+        try:
+            messages.append(loads_message(payload.decode("utf-8")))
+        except (ProtocolError, UnicodeDecodeError) as exc:
+            raise JournalError(
+                f"journal {path}: record at offset {offset} is "
+                f"checksum-valid but undecodable: {exc}"
+            ) from exc
+        offset = end
+    return messages, False
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """Hex sha256 of a file's bytes (snapshot manifest entries)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

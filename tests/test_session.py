@@ -15,7 +15,13 @@ import pytest
 from repro.control.policy import GovernorPolicy, StaticPolicy
 from repro.core.framework import run_policy_on_snippets
 from repro.core.session import PolicySession, SnapshotError
-from repro.soc.governors import OndemandGovernor
+from repro.scenarios import get_scenario, make_space_schedule
+from repro.soc.governors import (
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
 from repro.workloads.suites import training_workloads
 
 
@@ -268,3 +274,178 @@ class TestDurableSnapshots:
         restored = PolicySession.restore(session.snapshot_bytes(),
                                          noisy_simulator)
         assert restored.policy.space is restored.space
+
+
+#: Every by-name policy the control plane can build (the governor zoo
+#: plus static); the learned policies join via the trained_framework
+#: fixture below.
+NAMED_POLICY_BUILDERS = {
+    "static": lambda space: StaticPolicy(space),
+    "ondemand": lambda space: GovernorPolicy(OndemandGovernor(space)),
+    "interactive": lambda space: GovernorPolicy(InteractiveGovernor(space)),
+    "performance": lambda space: GovernorPolicy(PerformanceGovernor(space)),
+    "powersave": lambda space: GovernorPolicy(PowersaveGovernor(space)),
+}
+
+
+class TestSnapshotEveryPolicy:
+    """Snapshot -> restore -> continue is bitwise for EVERY policy type.
+
+    The control-plane recovery invariant quantifies over whatever policy
+    a device runs, so the property is pinned per policy kind — including
+    under a scenario space schedule (which snapshots deliberately do NOT
+    carry; it must be rebuilt over the restored space) and over a
+    restricted configuration space.
+    """
+
+    def _check_roundtrip(self, tmp_path, simulator, build_session,
+                         rebuild_schedule=None, steps=3):
+        """reference vs snapshot-at-``steps``-then-continue, bitwise."""
+        reference = build_session().run()
+        session = build_session()
+        for _ in range(steps):
+            session.advance()
+        path = session.save_snapshot(tmp_path / "dev.snapshot")
+        session.run()  # poison the original past the snapshot point
+        restored = PolicySession.load_snapshot(path, simulator)
+        if rebuild_schedule is not None:
+            restored.space_schedule = rebuild_schedule(restored.space)
+        resumed = restored.run()
+        for key, column in _log_columns(reference).items():
+            np.testing.assert_array_equal(column, resumed.log.column(key))
+        assert reference.total_energy_j == resumed.total_energy_j
+        return restored
+
+    @pytest.mark.parametrize("policy_name", sorted(NAMED_POLICY_BUILDERS))
+    def test_named_policy_roundtrip_bitwise(self, tmp_path, noisy_simulator,
+                                            space, snippet_trace,
+                                            policy_name):
+        build = NAMED_POLICY_BUILDERS[policy_name]
+
+        def build_session():
+            return PolicySession(
+                noisy_simulator, space, build(space), snippet_trace,
+                rng=np.random.default_rng(13),
+            )
+
+        self._check_roundtrip(tmp_path, noisy_simulator, build_session)
+
+    @pytest.mark.parametrize("policy_name", ["ondemand", "static"])
+    def test_roundtrip_under_scenario_schedule(self, tmp_path,
+                                               noisy_simulator, space,
+                                               snippet_trace, policy_name):
+        """The schedule is rebuilt over the restored space, as documented."""
+        # Seed 1 produces a throttle window on this short trace, so the
+        # schedule is real (make_space_schedule returns None otherwise).
+        trace = get_scenario("thermal_throttle").apply(snippet_trace, 1)
+        assert trace.throttle_events
+        build = NAMED_POLICY_BUILDERS[policy_name]
+
+        def build_session():
+            return PolicySession(
+                noisy_simulator, space, build(space), trace.snippets,
+                rng=np.random.default_rng(13),
+                space_schedule=make_space_schedule(space, trace),
+            )
+
+        restored = self._check_roundtrip(
+            tmp_path, noisy_simulator, build_session,
+            rebuild_schedule=lambda restored_space: make_space_schedule(
+                restored_space, trace),
+        )
+        # The schedule was live on the restored session: the throttled
+        # column is recorded (it is absent/NaN when no schedule installed).
+        assert restored.space_schedule is not None
+        assert not np.all(np.isnan(restored.log.column("throttled")))
+
+    def test_roundtrip_over_restricted_space(self, tmp_path, noisy_simulator,
+                                             space, snippet_trace):
+        restricted = space.restrict(max_opp_index=2)
+        assert len(restricted) < len(space)
+
+        def build_session():
+            return PolicySession(
+                noisy_simulator, restricted,
+                GovernorPolicy(OndemandGovernor(restricted)), snippet_trace,
+                rng=np.random.default_rng(13),
+            )
+
+        restored = self._check_roundtrip(tmp_path, noisy_simulator,
+                                         build_session)
+        assert len(restored.space) == len(restricted)
+
+    def test_offline_il_roundtrip_bitwise(self, tmp_path, trained_framework,
+                                          snippet_trace):
+        import copy
+
+        framework = trained_framework
+        simulator = framework.simulator
+
+        def build_session():
+            policy = copy.deepcopy(framework.offline_policy)
+            return PolicySession(
+                simulator, policy.space, policy, snippet_trace,
+                rng=np.random.default_rng(13),
+            )
+
+        self._check_roundtrip(tmp_path, simulator, build_session)
+
+    def test_online_il_roundtrip_bitwise(self, tmp_path, trained_framework,
+                                         snippet_trace):
+        framework = trained_framework
+        simulator = framework.simulator
+
+        def build_session():
+            policy = framework.build_online_il_policy(
+                buffer_capacity=10, update_epochs=5, isolated=True,
+            )
+            return PolicySession(
+                simulator, policy.space, policy, snippet_trace[:8],
+                rng=np.random.default_rng(13),
+            )
+
+        self._check_roundtrip(tmp_path, simulator, build_session, steps=3)
+
+
+class TestStateDigest:
+    """``state_digest()`` — the recovery invariant's equality vehicle."""
+
+    def _run(self, noisy_simulator, space, snippet_trace, seed=11, steps=None):
+        session = PolicySession(
+            noisy_simulator, space, GovernorPolicy(OndemandGovernor(space)),
+            snippet_trace, rng=np.random.default_rng(seed),
+        )
+        if steps is None:
+            session.run()
+        else:
+            for _ in range(steps):
+                session.advance()
+        return session
+
+    def test_identical_runs_share_digest(self, noisy_simulator, space,
+                                         snippet_trace):
+        one = self._run(noisy_simulator, space, snippet_trace)
+        two = self._run(noisy_simulator, space, snippet_trace)
+        assert one.state_digest() == two.state_digest()
+
+    def test_diverged_runs_differ(self, noisy_simulator, space,
+                                  snippet_trace):
+        one = self._run(noisy_simulator, space, snippet_trace, seed=11)
+        two = self._run(noisy_simulator, space, snippet_trace, seed=12)
+        assert one.state_digest() != two.state_digest()
+
+    def test_progress_changes_digest(self, noisy_simulator, space,
+                                     snippet_trace):
+        partial = self._run(noisy_simulator, space, snippet_trace, steps=2)
+        before = partial.state_digest()
+        partial.advance()
+        assert partial.state_digest() != before
+
+    def test_snapshot_restore_continue_preserves_digest(
+            self, noisy_simulator, space, snippet_trace):
+        full = self._run(noisy_simulator, space, snippet_trace)
+        partial = self._run(noisy_simulator, space, snippet_trace, steps=3)
+        restored = PolicySession.restore(partial.snapshot_bytes(),
+                                         noisy_simulator)
+        restored.run()
+        assert restored.state_digest() == full.state_digest()

@@ -393,3 +393,110 @@ class TestShardedExperiment:
 
         assert main(["figure2", "--shards", "2"]) == 2
         assert "--shards has no effect" in capsys.readouterr().err
+
+
+class TestResourceHygiene:
+    """Worker-pool and shared-memory teardown on every failure path.
+
+    A prepared-but-never-executed engine leaves its workers blocked
+    waiting for ``go``; an exception mid-prepare/execute leaves undrained
+    pipe messages; a parent that dies with a mapped block would strand a
+    ``/dev/shm`` segment.  These tests pin that close()/error paths
+    retire poisoned workers and that the atexit sweep unlinks leftovers.
+    """
+
+    def _devices(self, space, n=4):
+        return [
+            DeviceSpec(name=f"dev{i}",
+                       policy=GovernorPolicy(OndemandGovernor(space)),
+                       snippets=make_trace(i, factor=0.2), seed=300 + i)
+            for i in range(n)
+        ]
+
+    def test_close_retires_prepared_workers_and_pool_recovers(
+            self, platform, space):
+        import repro.fleet.sharding as sharding
+
+        simulator = SoCSimulator(platform, noise_scale=0.02, seed=0)
+        engine = ShardedFleetEngine(self._devices(space), simulator, space,
+                                    n_shards=2)
+        engine.prepare()
+        assert engine._workers is not None
+        engine.close()
+        assert engine._workers is None
+        assert engine._shared == []
+        # The blocked workers were retired, not recycled: a fresh engine
+        # must run cleanly on newly spawned workers.
+        summaries = ShardedFleetEngine(self._devices(space), simulator,
+                                       space, n_shards=2).run()
+        assert len(summaries) == 4
+        assert all(s.steps > 0 for s in summaries)
+        sharding.shutdown_workers()
+
+    def test_context_manager_closes(self, platform, space):
+        simulator = SoCSimulator(platform, noise_scale=0.02, seed=0)
+        with ShardedFleetEngine(self._devices(space), simulator, space,
+                                n_shards=2) as engine:
+            engine.prepare()
+        assert engine._workers is None
+
+    def test_interrupt_mid_prepare_releases_everything(self, platform,
+                                                       space, monkeypatch):
+        """A simulated parent failure (KeyboardInterrupt between shard
+        shipments) must leave no mapped segment and no poisoned worker."""
+        import repro.fleet.sharding as sharding
+
+        simulator = SoCSimulator(platform, noise_scale=0.02, seed=0)
+        engine = ShardedFleetEngine(self._devices(space), simulator, space,
+                                    n_shards=2)
+        original = ShardedFleetEngine._ship_shard
+        shipped = []
+
+        def failing_ship(self, worker, lo, hi):
+            original(self, worker, lo, hi)
+            shipped.append((lo, hi))
+            if len(shipped) == 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(ShardedFleetEngine, "_ship_shard", failing_ship)
+        with pytest.raises(KeyboardInterrupt):
+            engine.prepare()
+        assert engine._shared == []
+        assert not sharding._LIVE_SHARED
+        assert not sharding._POOL  # the involved workers were retired
+        monkeypatch.undo()
+        # The pool re-spawns and serves a clean run afterwards.
+        summaries = ShardedFleetEngine(self._devices(space), simulator,
+                                       space, n_shards=2).run()
+        assert len(summaries) == 4
+        sharding.shutdown_workers()
+
+    def test_parent_death_leaves_no_stale_shm_segment(self):
+        """A block still mapped when the interpreter exits (the parent
+        'failed' before its unlink) is swept by the atexit teardown."""
+        import subprocess
+        import sys
+
+        script = (
+            "import json, sys\n"
+            "import repro.fleet.sharding as sharding\n"
+            "from multiprocessing import shared_memory\n"
+            "block = shared_memory.SharedMemory(create=True, size=1024)\n"
+            "sharding._LIVE_SHARED.append(block)\n"
+            "print(json.dumps({'name': block.name}))\n"
+            "sys.stdout.flush()\n"
+            # exit WITHOUT unlinking: only the atexit sweep stands between
+            # this mapping and a stale /dev/shm segment.
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        name = __import__("json").loads(result.stdout)["name"]
+        from multiprocessing import shared_memory as shm
+
+        with pytest.raises(FileNotFoundError):
+            shm.SharedMemory(name=name)
+        # No resource-tracker leak warnings either.
+        assert "leaked shared_memory" not in result.stderr
